@@ -1,0 +1,479 @@
+(** Benchmark harness regenerating every table and figure of the paper's
+    evaluation (Section 6) on the cluster simulator:
+
+    - [fig7_narrow] / [fig7_wide]: the TPC-H grids of Figure 7 — query
+      families flat-to-nested / nested-to-nested / nested-to-flat at nesting
+      levels 0-4 under Standard, Shred, Shred+Unshred and the SparkSQL
+      proxy;
+    - [fig8_skew]: Figure 8 — nested-to-nested narrow at two levels on
+      increasingly skewed data (factors 0-4), skew-aware and skew-unaware;
+    - [fig9_biomed]: Figure 9 — the five-step biomedical E2E pipeline on the
+      full and small synthetic datasets with per-step times;
+    - [ablate]: ablations of the design choices DESIGN.md calls out
+      (domain elimination, cogroup fusion, aggregation pushdown);
+    - [micro]: Bechamel micro-benchmarks of core primitives.
+
+    Absolute numbers are simulator output; the paper-vs-measured *shape*
+    comparison lives in EXPERIMENTS.md. Run all targets with
+    [dune exec bench/main.exe], or a single one by name. Options:
+    [--scale F] multiplies dataset sizes, [--mem MB] sets the per-worker
+    memory budget (the FAIL threshold). *)
+
+let scale_factor = ref 1.0
+let mem_mb : float option ref = ref None
+let targets : string list ref = ref []
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+      scale_factor := float_of_string v;
+      parse rest
+    | "--mem" :: v :: rest ->
+      mem_mb := Some (float_of_string v);
+      parse rest
+    | t :: rest ->
+      targets := !targets @ [ t ];
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let sc n = max 1 (int_of_float (float_of_int n *. !scale_factor))
+
+(* Per-figure worker memory defaults (MB), calibrated so the simulator's
+   FAIL pattern matches the paper's (see EXPERIMENTS.md); --mem overrides. *)
+let cluster ~default_mem () =
+  let mem = Option.value !mem_mb ~default:default_mem in
+  {
+    Exec.Config.default with
+    workers = 20;
+    partitions = 100;
+    worker_mem = int_of_float (mem *. 1048576.);
+    broadcast_limit = 2 * 1024;
+  }
+
+let base_config ~default_mem () =
+  { Trance.Api.default_config with
+    cluster = cluster ~default_mem ();
+    collect = false;
+    optimizer =
+      { Plan.Optimize.default with
+        unique_keys = [ ("Part", [ "pkey" ]); ("GeneMeta", [ "gid" ]) ] } }
+
+(* ------------------------------------------------------------------ *)
+(* Row printing *)
+
+let header () =
+  Printf.printf "%-18s %-5s %-16s %9s %10s %10s %9s  %s\n" "family" "level"
+    "strategy" "sim(s)" "shuffleMB" "bcastMB" "peakMB" "status";
+  Printf.printf "%s\n" (String.make 94 '-')
+
+let mb b = float_of_int b /. 1048576.
+
+let row ~family ~level ~(r : Trance.Api.run) =
+  let s = r.Trance.Api.stats in
+  Printf.printf "%-18s %-5s %-16s %9.3f %10.2f %10.2f %9.2f  %s\n" family level
+    r.Trance.Api.strategy s.Exec.Stats.sim_seconds
+    (mb s.Exec.Stats.shuffled_bytes)
+    (mb s.Exec.Stats.broadcast_bytes)
+    (mb s.Exec.Stats.peak_worker_bytes)
+    (match r.Trance.Api.failure with
+    | None -> "ok"
+    | Some f -> "FAIL (" ^ f ^ ")")
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7 *)
+
+let tpch_scale () =
+  {
+    Tpch.Generator.default_scale with
+    customers = sc 300;
+    orders_per_customer = 10;
+    lineitems_per_order = 4;
+    parts = sc 500;
+    comment_width = 48;
+  }
+
+let fig7 ~wide () =
+  Printf.printf "\n=== Figure 7%s: %s TPC-H queries, nesting levels 0-4 ===\n"
+    (if wide then "b" else "a")
+    (if wide then "wide" else "narrow");
+  header ();
+  let db = Tpch.Generator.generate (tpch_scale ()) in
+  let config = base_config ~default_mem:0.66 () in
+  let families =
+    [
+      Tpch.Queries.Flat_to_nested;
+      Tpch.Queries.Nested_to_nested;
+      Tpch.Queries.Nested_to_flat;
+    ]
+  in
+  (* (family, level, strategy) -> run, for the claim summary *)
+  let results = ref [] in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun level ->
+          let prog = Tpch.Queries.program ~wide ~family ~level () in
+          let inputs = Tpch.Queries.input_values ~wide ~family ~level db in
+          let nested_output =
+            match family with
+            | Tpch.Queries.Nested_to_flat -> false
+            | Tpch.Queries.Flat_to_nested | Tpch.Queries.Nested_to_nested ->
+              level > 0
+          in
+          let strategies =
+            [ Trance.Api.Standard; Trance.Api.Shredded { unshred = false } ]
+            @ (if nested_output then [ Trance.Api.Shredded { unshred = true } ]
+               else [])
+            @ [ Trance.Api.SparkSQL_proxy ]
+          in
+          List.iter
+            (fun strategy ->
+              let r = Trance.Api.run ~config ~strategy prog inputs in
+              results := ((family, level, r.Trance.Api.strategy), r) :: !results;
+              row
+                ~family:(Tpch.Queries.family_name family)
+                ~level:(string_of_int level) ~r)
+            strategies)
+        [ 0; 1; 2; 3; 4 ])
+    families;
+  (* automated claim summary (headline bullets of Section 6) *)
+  let get f l s = List.assoc_opt (f, l, s) !results in
+  let ratio num den =
+    match num, den with
+    | Some a, Some b -> (
+      match a.Trance.Api.failure, b.Trance.Api.failure with
+      | None, None when b.Trance.Api.stats.Exec.Stats.sim_seconds > 0. ->
+        Printf.sprintf "%.1fx"
+          (a.Trance.Api.stats.Exec.Stats.sim_seconds
+          /. b.Trance.Api.stats.Exec.Stats.sim_seconds)
+      | Some _, None -> "inf (flattening FAILed)"
+      | _, _ -> "n/a")
+    | _ -> "n/a"
+  in
+  let shuffle_ratio num den =
+    match num, den with
+    | Some a, Some b
+      when a.Trance.Api.failure = None && b.Trance.Api.failure = None
+           && b.Trance.Api.stats.Exec.Stats.shuffled_bytes > 0 ->
+      Printf.sprintf "%.1fx"
+        (float_of_int a.Trance.Api.stats.Exec.Stats.shuffled_bytes
+        /. float_of_int b.Trance.Api.stats.Exec.Stats.shuffled_bytes)
+    | _ -> "n/a"
+  in
+  Printf.printf "\n-- claim summary (Section 6 bullets) --\n";
+  Printf.printf "C1 flat-to-nested L4, Standard vs Shred:   time %s, shuffle %s\n"
+    (ratio (get Tpch.Queries.Flat_to_nested 4 "Standard")
+       (get Tpch.Queries.Flat_to_nested 4 "Shred"))
+    (shuffle_ratio (get Tpch.Queries.Flat_to_nested 4 "Standard")
+       (get Tpch.Queries.Flat_to_nested 4 "Shred"));
+  Printf.printf "C2 nested-to-nested L2, Standard vs Shred: time %s\n"
+    (ratio (get Tpch.Queries.Nested_to_nested 2 "Standard")
+       (get Tpch.Queries.Nested_to_nested 2 "Shred"));
+  Printf.printf "C2 nested-to-nested L4, Standard vs Shred: time %s\n"
+    (ratio (get Tpch.Queries.Nested_to_nested 4 "Standard")
+       (get Tpch.Queries.Nested_to_nested 4 "Shred"));
+  Printf.printf "C3 nested-to-flat L4, Standard vs Shred:   time %s\n"
+    (ratio (get Tpch.Queries.Nested_to_flat 4 "Standard")
+       (get Tpch.Queries.Nested_to_flat 4 "Shred"))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8 *)
+
+let fig8 () =
+  Printf.printf
+    "\n=== Figure 8: nested-to-nested narrow, 2 levels, skew factors 0-4 ===\n";
+  header ();
+  let family = Tpch.Queries.Nested_to_nested and level = 2 in
+  let prog = Tpch.Queries.program ~wide:false ~family ~level () in
+  List.iter
+    (fun skew ->
+      let db = Tpch.Generator.generate { (tpch_scale ()) with skew } in
+      let inputs = Tpch.Queries.input_values ~wide:false ~family ~level db in
+      let run ~skew_aware strategy =
+        (* the paper pushes aggregation for skew-unaware methods only:
+           skew-aware methods benefit more from keeping heavy keys
+           distributed (Section 6, Skew-handling) *)
+        let config =
+          let c = base_config ~default_mem:1.8 () in
+          if skew_aware then
+            { c with
+              skew_aware = true;
+              optimizer = { c.optimizer with push_aggs = false } }
+          else c
+        in
+        let r = Trance.Api.run ~config ~strategy prog inputs in
+        let name = r.Trance.Api.strategy ^ if skew_aware then "+skew" else "" in
+        row ~family:"n-to-n skew"
+          ~level:(Printf.sprintf "s=%d" skew)
+          ~r:{ r with Trance.Api.strategy = name }
+      in
+      run ~skew_aware:false Trance.Api.Standard;
+      run ~skew_aware:false (Trance.Api.Shredded { unshred = false });
+      run ~skew_aware:false (Trance.Api.Shredded { unshred = true });
+      run ~skew_aware:false Trance.Api.SparkSQL_proxy;
+      run ~skew_aware:true Trance.Api.Standard;
+      run ~skew_aware:true (Trance.Api.Shredded { unshred = false });
+      run ~skew_aware:true (Trance.Api.Shredded { unshred = true }))
+    [ 0; 1; 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9 *)
+
+let fig9 () =
+  Printf.printf "\n=== Figure 9: biomedical E2E pipeline (per-step sim s) ===\n";
+  let run_dataset label scale =
+    Printf.printf "\n--- %s dataset ---\n" label;
+    let db = Biomed.Generator.generate scale in
+    let inputs = Biomed.Generator.inputs db in
+    let config = base_config ~default_mem:4.0 () in
+    Printf.printf "%-14s %8s %8s %8s %8s %8s %8s %10s  %s\n" "strategy" "Step1"
+      "Step2" "Step3" "Step4" "Step5" "total" "shuffleMB" "status";
+    Printf.printf "%s\n" (String.make 100 '-');
+    List.iter
+      (fun strategy ->
+        let r =
+          Trance.Api.run ~config ~strategy Biomed.Pipeline.program inputs
+        in
+        let step name =
+          List.fold_left
+            (fun acc (s, t) ->
+              if s = name || (name = "Step3" && s = "Step3u") then acc +. t
+              else acc)
+            0. r.Trance.Api.step_seconds
+        in
+        let total =
+          List.fold_left (fun a (_, t) -> a +. t) 0. r.Trance.Api.step_seconds
+        in
+        Printf.printf "%-14s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %10.2f  %s\n"
+          r.Trance.Api.strategy (step "Step1") (step "Step2") (step "Step3")
+          (step "Step4") (step "Step5") total
+          (mb r.Trance.Api.stats.Exec.Stats.shuffled_bytes)
+          (match r.Trance.Api.failure with
+          | None -> "ok"
+          | Some f -> "FAIL (" ^ f ^ ")"))
+      [
+        Trance.Api.Standard;
+        Trance.Api.Shredded { unshred = false };
+        Trance.Api.SparkSQL_proxy;
+      ]
+  in
+  run_dataset "full" Biomed.Generator.full_scale;
+  run_dataset "small" Biomed.Generator.small_scale
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let ablate () =
+  Printf.printf
+    "\n=== Ablations of the design choices (DESIGN.md section 5) ===\n";
+  header ();
+  let db = Tpch.Generator.generate (tpch_scale ()) in
+  let base = base_config ~default_mem:10000. () in
+  let cell family level =
+    ( Tpch.Queries.program ~wide:false ~family ~level (),
+      Tpch.Queries.input_values ~wide:false ~family ~level db )
+  in
+  let n2n = cell Tpch.Queries.Nested_to_nested 2 in
+  let f2n = cell Tpch.Queries.Flat_to_nested 2 in
+  let cases =
+    [
+      (* domain elimination: shredded route, nested input *)
+      ("dom-elim ON", n2n, Trance.Api.Shredded { unshred = false }, base);
+      ( "dom-elim OFF",
+        n2n,
+        Trance.Api.Shredded { unshred = false },
+        { base with
+          materializer = { Trance.Materialize.domain_elimination = false } } );
+      (* cogroup fusion: standard route building nested output *)
+      ("cogroup ON", f2n, Trance.Api.Standard, base);
+      ( "cogroup OFF",
+        f2n,
+        Trance.Api.Standard,
+        { base with Trance.Api.cogroup = false } );
+      (* aggregation pushdown: standard route with the Part join *)
+      ("push-agg ON", n2n, Trance.Api.Standard, base);
+      ( "push-agg OFF",
+        n2n,
+        Trance.Api.Standard,
+        { base with optimizer = { base.optimizer with push_aggs = false } } );
+    ]
+  in
+  List.iter
+    (fun (label, (prog, inputs), strategy, config) ->
+      let r = Trance.Api.run ~config ~strategy prog inputs in
+      row ~family:label ~level:"2" ~r)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Scaling sweep: growth of each strategy with top-level cardinality and
+   inner-collection size (the dimensions Section 6 varies). *)
+
+let scaling () =
+  Printf.printf
+    "\n=== Scaling: nested-to-nested L2, sim seconds per strategy ===\n";
+  let family = Tpch.Queries.Nested_to_nested and level = 2 in
+  let prog = Tpch.Queries.program ~wide:false ~family ~level () in
+  let config = base_config ~default_mem:10000. () in
+  let run_cell scale =
+    let db = Tpch.Generator.generate scale in
+    let inputs = Tpch.Queries.input_values ~wide:false ~family ~level db in
+    List.map
+      (fun strategy ->
+        let r = Trance.Api.run ~config ~strategy prog inputs in
+        r.Trance.Api.stats.Exec.Stats.sim_seconds)
+      [
+        Trance.Api.Standard;
+        Trance.Api.Shredded { unshred = false };
+        Trance.Api.Shredded { unshred = true };
+      ]
+  in
+  Printf.printf "%-34s %10s %10s %10s\n" "dataset" "Standard" "Shred" "Shred+U";
+  Printf.printf "%s\n" (String.make 70 '-');
+  (* top-level cardinality sweep *)
+  List.iter
+    (fun c ->
+      let ts = run_cell { (tpch_scale ()) with customers = c } in
+      Printf.printf "%-34s %10.4f %10.4f %10.4f\n"
+        (Printf.sprintf "customers=%d" c)
+        (List.nth ts 0) (List.nth ts 1) (List.nth ts 2))
+    [ sc 150; sc 300; sc 600; sc 1200 ];
+  (* inner-collection-size sweep *)
+  List.iter
+    (fun lpo ->
+      let ts = run_cell { (tpch_scale ()) with lineitems_per_order = lpo } in
+      Printf.printf "%-34s %10.4f %10.4f %10.4f\n"
+        (Printf.sprintf "lineitems_per_order=%d" lpo)
+        (List.nth ts 0) (List.nth ts 1) (List.nth ts 2))
+    [ 2; 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* Cost-model validation: does the estimator rank standard vs shredded the
+   way the simulator measures it? (Section 8 future work, built here.) *)
+
+let cost_model () =
+  Printf.printf
+    "\n=== Cost model: estimated vs measured standard/shredded ranking ===\n";
+  Printf.printf "%-18s %-5s %12s %12s %10s %10s %7s\n" "family" "level"
+    "est(std)" "est(shred)" "sim(std)" "sim(shred)" "agree";
+  Printf.printf "%s\n" (String.make 82 '-');
+  let db = Tpch.Generator.generate (tpch_scale ()) in
+  let config = base_config ~default_mem:10000. () in
+  let agree = ref 0 and total = ref 0 in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun level ->
+          let prog = Tpch.Queries.program ~family ~level () in
+          let inputs = Tpch.Queries.input_values ~family ~level db in
+          let rec_ = Trance.Cost.recommend ~config prog inputs in
+          let sim strategy =
+            (Trance.Api.run ~config ~strategy prog inputs).Trance.Api.stats
+              .Exec.Stats.sim_seconds
+          in
+          let t_std = sim Trance.Api.Standard in
+          let t_shred = sim (Trance.Api.Shredded { unshred = false }) in
+          let measured = if t_shred <= t_std then `Shredded else `Standard in
+          let ok = measured = rec_.Trance.Cost.pick in
+          incr total;
+          if ok then incr agree;
+          Printf.printf "%-18s %-5d %12.3g %12.3g %10.4f %10.4f %7s\n"
+            (Tpch.Queries.family_name family)
+            level rec_.Trance.Cost.standard_cost rec_.Trance.Cost.shredded_cost
+            t_std t_shred
+            (if ok then "yes" else "NO"))
+        [ 1; 2; 3; 4 ])
+    [
+      Tpch.Queries.Flat_to_nested;
+      Tpch.Queries.Nested_to_nested;
+      Tpch.Queries.Nested_to_flat;
+    ];
+  Printf.printf "ranking agreement: %d/%d cells\n" !agree !total
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks *)
+
+let micro () =
+  Printf.printf "\n=== Micro-benchmarks (Bechamel, monotonic clock) ===\n";
+  let open Bechamel in
+  let db =
+    Tpch.Generator.generate { (tpch_scale ()) with customers = 60; parts = 100 }
+  in
+  let cop2 = Tpch.Generator.nested_input ~level:2 db in
+  let elem2 = Nrc.Types.element (Tpch.Queries.nested_input_ty ~level:2 ()) in
+  let shredded = Trance.Shred_value.shred_bag "COP" elem2 cop2 in
+  let q2 =
+    Tpch.Queries.program ~family:Tpch.Queries.Nested_to_nested ~level:2 ()
+  in
+  let inputs2 =
+    Tpch.Queries.input_values ~family:Tpch.Queries.Nested_to_nested ~level:2 db
+  in
+  let tests =
+    [
+      Test.make ~name:"value_shred_L2"
+        (Staged.stage (fun () ->
+             ignore (Trance.Shred_value.shred_bag "COP" elem2 cop2)));
+      Test.make ~name:"value_unshred_L2"
+        (Staged.stage (fun () ->
+             ignore
+               (Trance.Shred_value.unshred_bag elem2
+                  shredded.Trance.Shred_value.top
+                  shredded.Trance.Shred_value.dicts)));
+      Test.make ~name:"compile_standard_L2"
+        (Staged.stage (fun () -> ignore (Trance.Api.compile_standard q2)));
+      Test.make ~name:"compile_shredded_L2"
+        (Staged.stage (fun () -> ignore (Trance.Api.compile_shredded q2)));
+      Test.make ~name:"nrc_eval_n2n_L2"
+        (Staged.stage (fun () -> ignore (Nrc.Program.eval_result q2 inputs2)));
+    ]
+  in
+  let clock = Bechamel.Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun t ->
+      let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+      let results =
+        Benchmark.all cfg [ clock ] (Test.make_grouped ~name:"micro" [ t ])
+      in
+      let analyzed =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> Printf.printf "%-32s %14.1f ns/run\n" name est
+          | _ -> Printf.printf "%-32s (no estimate)\n" name)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all_targets =
+  [
+    ("fig7_narrow", fun () -> fig7 ~wide:false ());
+    ("fig7_wide", fun () -> fig7 ~wide:true ());
+    ("fig8_skew", fig8);
+    ("fig9_biomed", fig9);
+    ("ablate", ablate);
+    ("scaling", scaling);
+    ("cost_model", cost_model);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match !targets with [] -> List.map fst all_targets | ts -> ts
+  in
+  List.iter
+    (fun t ->
+      match List.assoc_opt t all_targets with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown target %s (available: %s)\n" t
+          (String.concat ", " (List.map fst all_targets));
+        exit 1)
+    requested;
+  Printf.printf "\nDone. See EXPERIMENTS.md for the paper-vs-measured comparison.\n"

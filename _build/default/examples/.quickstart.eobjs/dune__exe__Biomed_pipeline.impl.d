@@ -1,0 +1,1 @@
+examples/biomed_pipeline.ml: Biomed Fmt List Nrc Trance

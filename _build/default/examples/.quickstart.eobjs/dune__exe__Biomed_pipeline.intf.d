@@ -1,0 +1,1 @@
+examples/biomed_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/skew_handling.ml: Exec Fmt List Plan Tpch Trance

@@ -1,0 +1,1 @@
+examples/text_queries.ml: Fmt List Nrc Tpch Trance

@@ -1,0 +1,1 @@
+examples/tpch_analytics.ml: Fmt List Nrc Plan String Tpch Trance

@@ -1,0 +1,70 @@
+(** Queries as text: the surface-syntax parser lets analysts write NRC
+    directly, typecheck it against a schema, inspect both compilation
+    routes, and run distributed — without touching the OCaml builder API.
+
+    Run with: [dune exec examples/text_queries.exe] *)
+
+let queries =
+  [
+    ( "parts above average-ish price",
+      {| for p in Part union
+           if p.pprice > 50.0 then sng( pname := p.pname, price := p.pprice ) |}
+    );
+    ( "revenue per part name (Example 1's aggregate, flat)",
+      {| sumBy(pname; revenue)(
+           for l in Lineitem union
+           for p in Part union
+           if l.pkey == p.pkey then
+             sng( pname := p.pname, revenue := l.lqty * p.pprice )) |} );
+    ( "orders nested under customers, with totals per order",
+      {| for c in Customer union
+           sng( cname := c.cname,
+                orders := for o in Orders union
+                          if o.ckey == c.ckey then
+                            sng( odate := o.odate,
+                                 spent := sumBy(okey; spent)(
+                                   for l in Lineitem union
+                                   if l.okey == o.okey then
+                                     sng( okey := l.okey, spent := l.eprice )) ) ) |}
+    );
+    ( "a two-assignment program",
+      {| Flat <- for c in Customer union
+                 for o in Orders union
+                 if o.ckey == c.ckey then
+                   sng( cname := c.cname, total := o.ototal );
+         Result <- sumBy(cname; total)(for x in Flat union
+                     sng( cname := x.cname, total := x.total )); |} );
+  ]
+
+let () =
+  let db =
+    Tpch.Generator.generate
+      { Tpch.Generator.default_scale with customers = 60; parts = 120 }
+  in
+  let inputs_ty = Tpch.Schema.flat_inputs_ty in
+  let inputs_val = Tpch.Generator.flat_inputs db in
+  List.iter
+    (fun (title, src) ->
+      Fmt.pr "=== %s ===@." title;
+      match Nrc.Parser.program_of_string ~inputs:inputs_ty src with
+      | exception Nrc.Parser.Parse_error { pos; message } ->
+        Fmt.pr "parse error at %d: %s@.@." pos message
+      | prog ->
+        let env = Nrc.Program.typecheck prog in
+        Fmt.pr "type: %a@." Nrc.Types.pp
+          (Nrc.Typecheck.Env.find (Nrc.Program.result_name prog) env);
+        let r =
+          Trance.Api.run
+            ~strategy:(Trance.Api.Shredded { unshred = true })
+            prog inputs_val
+        in
+        Fmt.pr "%a@." Trance.Api.pp_run r;
+        (match r.Trance.Api.value with
+        | Some (Nrc.Value.Bag rows) ->
+          Fmt.pr "%d rows; first 2:@." (List.length rows);
+          List.iteri
+            (fun i row -> if i < 2 then Fmt.pr "  %a@." Nrc.Value.pp row)
+            rows
+        | _ -> ());
+        Fmt.pr "@.")
+    queries

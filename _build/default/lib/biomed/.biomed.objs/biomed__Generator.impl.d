@@ -1,0 +1,1 @@
+lib/biomed/generator.ml: Array Int64 List Nrc Printf

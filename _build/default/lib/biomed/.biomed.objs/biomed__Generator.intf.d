@@ -1,0 +1,1 @@
+lib/biomed/generator.mli: Nrc

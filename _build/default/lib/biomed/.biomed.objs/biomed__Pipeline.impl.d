@@ -1,0 +1,1 @@
+lib/biomed/pipeline.ml: List Nrc Schema Stdlib

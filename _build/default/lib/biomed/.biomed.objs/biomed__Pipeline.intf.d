@@ -1,0 +1,1 @@
+lib/biomed/pipeline.mli: Nrc

@@ -1,0 +1,1 @@
+lib/biomed/schema.ml: Nrc

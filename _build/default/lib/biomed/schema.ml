@@ -1,0 +1,46 @@
+(** Schema of the biomedical benchmark (Section 6), shaped after the ICGC /
+    cancer-driver-gene pipeline of [47] that the paper evaluates:
+
+    - [Occurrences] (the paper's BN2, 280 GB): two-level nested — per
+      sample, somatic mutations, each with candidate gene consequences from
+      a VEP-style annotation;
+    - [Network] (BN1, 4 GB): one-level nested — per gene, its
+      protein-protein interaction edges (STRING-style);
+    - [CopyNumber] (BF2, 34 GB): flat per (sample, gene) copy-number calls;
+    - [GeneMeta] (BF1, 23 GB): flat gene metadata;
+    - [SOImpact] (BF3, 5 KB): the tiny Sequence-Ontology impact weight
+      table. *)
+
+module T = Nrc.Types
+
+let candidate_ty =
+  T.tuple [ ("gid", T.int_); ("impact", T.string_); ("cscore", T.real) ]
+
+let mutation_ty =
+  T.tuple [ ("mid", T.int_); ("candidates", T.bag candidate_ty) ]
+
+let occurrences_ty =
+  T.bag (T.tuple [ ("sid", T.int_); ("mutations", T.bag mutation_ty) ])
+
+let edge_ty = T.tuple [ ("gid2", T.int_); ("eweight", T.real) ]
+
+let network_ty =
+  T.bag (T.tuple [ ("gid", T.int_); ("edges", T.bag edge_ty) ])
+
+let copynumber_ty =
+  T.bag (T.tuple [ ("sid", T.int_); ("gid", T.int_); ("cnum", T.real) ])
+
+let genemeta_ty =
+  T.bag (T.tuple [ ("gid", T.int_); ("gname", T.string_); ("chrom", T.string_) ])
+
+let soimpact_ty =
+  T.bag (T.tuple [ ("impact", T.string_); ("iweight", T.real) ])
+
+let inputs_ty =
+  [
+    ("Occurrences", occurrences_ty);
+    ("Network", network_ty);
+    ("CopyNumber", copynumber_ty);
+    ("GeneMeta", genemeta_ty);
+    ("SOImpact", soimpact_ty);
+  ]

@@ -1,0 +1,1 @@
+lib/core/api.mli: Exec Format Materialize Nrc Plan Shred_pipeline

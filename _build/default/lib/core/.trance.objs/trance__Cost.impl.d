@@ -1,0 +1,1 @@
+lib/core/cost.ml: Api Float List Nrc Plan Shred_value

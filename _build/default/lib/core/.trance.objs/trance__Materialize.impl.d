@@ -1,0 +1,1 @@
+lib/core/materialize.ml: List Nrc Option Registry SSet Shred_type String Symbolic

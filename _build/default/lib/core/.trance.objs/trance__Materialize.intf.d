@@ -1,0 +1,1 @@
+lib/core/materialize.mli: Nrc Registry Symbolic

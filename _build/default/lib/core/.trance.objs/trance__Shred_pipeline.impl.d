@@ -1,0 +1,1 @@
+lib/core/shred_pipeline.ml: List Materialize Nrc Registry Shred_type Shred_value Symbolic Unshred

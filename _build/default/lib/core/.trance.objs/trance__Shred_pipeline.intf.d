@@ -1,0 +1,1 @@
+lib/core/shred_pipeline.mli: Materialize Nrc Registry

@@ -1,0 +1,1 @@
+lib/core/shred_type.ml: Fmt Hashtbl List Nrc Option String

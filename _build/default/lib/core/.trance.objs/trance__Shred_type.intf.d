@@ -1,0 +1,1 @@
+lib/core/shred_type.mli: Format Nrc

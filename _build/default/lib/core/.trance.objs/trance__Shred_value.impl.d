@@ -1,0 +1,1 @@
+lib/core/shred_value.ml: Hashtbl List Nrc Shred_type String

@@ -1,0 +1,1 @@
+lib/core/shred_value.mli: Nrc

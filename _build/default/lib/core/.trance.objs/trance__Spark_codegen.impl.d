@@ -1,0 +1,1 @@
+lib/core/spark_codegen.ml: Buffer List Nrc Plan Printf String

@@ -1,0 +1,1 @@
+lib/core/spark_codegen.mli: Plan

@@ -1,0 +1,1 @@
+lib/core/symbolic.ml: Fmt List Nrc Option Printf Registry Set Shred_type String

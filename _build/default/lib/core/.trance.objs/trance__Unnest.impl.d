@@ -1,0 +1,1 @@
+lib/core/unnest.ml: Fmt List Nrc Option Plan String

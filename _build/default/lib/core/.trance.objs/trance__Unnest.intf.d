@@ -1,0 +1,1 @@
+lib/core/unnest.mli: Nrc Plan

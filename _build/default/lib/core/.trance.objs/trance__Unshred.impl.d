@@ -1,0 +1,1 @@
+lib/core/unshred.ml: List Nrc Registry Shred_type Symbolic

@@ -1,0 +1,1 @@
+lib/core/unshred.mli: Nrc Registry

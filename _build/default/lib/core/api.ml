@@ -1,0 +1,351 @@
+(** Top-level TraNCE-style API: compile an NRC program down one of the two
+    routes of Figure 2 and execute it on the cluster simulator.
+
+    - {b Standard}: unnesting -> plan -> optimization -> distributed
+      execution over nested top-level tuples (Section 3).
+    - {b Shredded}: symbolic shredding -> materialization (domain
+      elimination) -> per-assignment unnesting -> distributed execution over
+      flat shredded datasets, optionally followed by unshredding
+      (Section 4).
+
+    Both routes accept skew-aware execution (Section 5) and report the
+    executor's instrumentation; per-worker memory exhaustion is reported as
+    a failed run (the paper's FAIL bars), not an exception. *)
+
+module E = Nrc.Expr
+module T = Nrc.Types
+module V = Nrc.Value
+module S = Plan.Sexpr
+
+type strategy =
+  | Standard
+  | Shredded of { unshred : bool }
+  | SparkSQL_proxy
+      (** the paper's strongest competitor, modelled as the standard route
+          with the cogroup optimization disabled and no aggregation pushdown
+          (SparkSQL keeps explode with the source relation and its optimizer
+          does not push aggregates through it; Section 6) *)
+
+let strategy_name = function
+  | Standard -> "Standard"
+  | Shredded { unshred = false } -> "Shred"
+  | Shredded { unshred = true } -> "Shred+Unshred"
+  | SparkSQL_proxy -> "SparkSQL"
+
+type config = {
+  cluster : Exec.Config.t;
+  skew_aware : bool;
+  cogroup : bool; (* fuse join+nest into cogroup (Section 3, Optimization) *)
+  optimizer : Plan.Optimize.config;
+  materializer : Materialize.config;
+  collect : bool; (* gather the result value back to the driver *)
+}
+
+let default_config =
+  {
+    cluster = Exec.Config.default;
+    skew_aware = false;
+    cogroup = true;
+    optimizer = Plan.Optimize.default;
+    materializer = Materialize.default;
+    collect = true;
+  }
+
+type run = {
+  strategy : string;
+  value : V.t option; (* collected result (None when [collect] is false) *)
+  stats : Exec.Stats.t;
+  wall_seconds : float;
+  failure : string option; (* OOM stage description; the paper's FAIL *)
+  step_seconds : (string * float) list;
+      (* simulated seconds attributed to each source assignment (shredded
+         dictionary assignments are folded into their step by name prefix);
+         the trailing "Unshred" entry covers result reassembly *)
+}
+
+(* attribute an assignment name to its source step: Step1_D_genes -> Step1 *)
+let step_of_target targets name =
+  match List.find_opt (fun t -> t = name) targets with
+  | Some t -> t
+  | None -> (
+    match
+      List.find_opt
+        (fun t ->
+          let tl = String.length t in
+          String.length name > tl
+          && String.sub name 0 tl = t
+          && name.[tl] = '_')
+        targets
+    with
+    | Some t -> t
+    | None -> name)
+
+(* run assignments one at a time, recording simulated-time deltas into
+   [steps_out] (which survives a mid-run memory failure) *)
+let run_steps ~options ~config ~stats ~targets ~steps_out env plans =
+  List.iter
+    (fun (name, plan) ->
+      let before = stats.Exec.Stats.sim_seconds in
+      let ds =
+        try Exec.Executor.run_plan ~options ~config ~stats env plan
+        with Exec.Stats.Worker_out_of_memory w ->
+          (* attribute the failure to its source step *)
+          raise
+            (Exec.Stats.Worker_out_of_memory
+               { w with stage = step_of_target targets name ^ "/" ^ w.stage })
+      in
+      Hashtbl.replace env name ds;
+      let dt = stats.Exec.Stats.sim_seconds -. before in
+      let step = step_of_target targets name in
+      steps_out :=
+        (match !steps_out with
+        | (s, t) :: rest when s = step -> (s, t +. dt) :: rest
+        | l -> (step, dt) :: l))
+    plans;
+  List.rev !steps_out
+
+let pp_run ppf r =
+  match r.failure with
+  | Some stage ->
+    Fmt.pf ppf "%-14s FAIL (%s) after %.3fs [%a]" r.strategy stage
+      r.wall_seconds Exec.Stats.pp r.stats
+  | None ->
+    Fmt.pf ppf "%-14s ok in %.3fs [%a]" r.strategy r.wall_seconds Exec.Stats.pp
+      r.stats
+
+(* ------------------------------------------------------------------ *)
+(* Plan compilation *)
+
+let optimize_all cfg plans =
+  List.map
+    (fun (name, plan) -> (name, Plan.Optimize.optimize ~config:cfg.optimizer plan))
+    plans
+
+(** Standard route: one optimized plan per assignment. *)
+let compile_standard ?(config = default_config) (p : Nrc.Program.t) :
+    (string * Plan.Op.t) list =
+  optimize_all config (Unnest.translate_program p)
+
+type shredded_compiled = {
+  pipeline : Shred_pipeline.t;
+  plans : (string * Plan.Op.t) list; (* materialized assignments *)
+  unshred_plan : Plan.Op.t option;
+}
+
+(** Shredded route: shred + materialize, compile each materialized
+    assignment, wrap dictionary outputs in BagToDict (label partitioning
+    guarantee), and compile the unshredding query. *)
+let compile_shredded ?(config = default_config) (p : Nrc.Program.t) :
+    shredded_compiled =
+  (* uniqueness hints carry over to the shredded top bags (R -> R_F) *)
+  let config =
+    { config with
+      optimizer =
+        { config.optimizer with
+          unique_keys =
+            config.optimizer.unique_keys
+            @ List.map
+                (fun (r, fields) -> (Shred_type.top_name r, fields))
+                config.optimizer.unique_keys } }
+  in
+  let pipeline =
+    Shred_pipeline.shred_program ~config:config.materializer p
+  in
+  let plans = Unnest.translate_program pipeline.Shred_pipeline.mat in
+  let is_dict name =
+    (* every materialized dictionary registered for any assignment *)
+    List.exists
+      (fun { Nrc.Program.target; _ } -> target = name)
+      pipeline.Shred_pipeline.mat.Nrc.Program.assignments
+    && String.length name > 3
+    &&
+    let rec find i =
+      i + 3 <= String.length name
+      && (String.sub name i 3 = "_D_" || find (i + 1))
+    in
+    find 0
+  in
+  let plans =
+    List.map
+      (fun (name, plan) ->
+        if is_dict name then
+          (name, Plan.Op.BagToDict { input = plan; label = S.Col [ "label" ] })
+        else (name, plan))
+      plans
+  in
+  let plans = optimize_all config plans in
+  let unshred_plan =
+    Option.map
+      (fun q ->
+        let full_env =
+          Nrc.Program.typecheck ~source:false pipeline.Shred_pipeline.mat
+        in
+        let tenv =
+          Nrc.Typecheck.Env.fold (fun k v acc -> (k, v) :: acc) full_env []
+        in
+        Plan.Optimize.optimize ~config:config.optimizer
+          (Unnest.translate ~tenv q))
+      pipeline.Shred_pipeline.unshred_query
+  in
+  { pipeline; plans; unshred_plan }
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let load_inputs ~cluster (types : (string * T.t) list)
+    (values : (string * V.t) list) : Exec.Executor.env =
+  ignore types;
+  let env = Hashtbl.create 16 in
+  List.iter
+    (fun (name, v) ->
+      Hashtbl.replace env name
+        (Exec.Dataset.of_bag ~partitions:cluster.Exec.Config.partitions v))
+    values;
+  env
+
+(** Load shredded inputs: dictionaries get a label partitioning guarantee. *)
+let load_shredded_inputs ~cluster (types : (string * T.t) list)
+    (values : (string * V.t) list) : Exec.Executor.env =
+  let shredded = Shred_value.shred_env types values in
+  let env = Hashtbl.create 16 in
+  List.iter
+    (fun (name, v) ->
+      let ds =
+        if
+          String.length name > 3
+          &&
+          let rec find i =
+            i + 3 <= String.length name
+            && (String.sub name i 3 = "_D_" || find (i + 1))
+          in
+          find 0
+        then
+          Exec.Dataset.of_bag_by ~partitions:cluster.Exec.Config.partitions
+            ~key:[ [ "label" ] ] v
+        else Exec.Dataset.of_bag ~partitions:cluster.Exec.Config.partitions v
+      in
+      Hashtbl.replace env name ds)
+    shredded;
+  env
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let catch_oom f =
+  match f () with
+  | v -> (Some v, None)
+  | exception Exec.Stats.Worker_out_of_memory { stage; worker_bytes; budget } ->
+    ( None,
+      Some
+        (Printf.sprintf "%s: %dMB > %dMB" stage
+           (worker_bytes / 1048576) (budget / 1048576)) )
+
+(** Run a program with the given strategy; never raises on memory
+    exhaustion. *)
+let run ?(config = default_config) ~(strategy : strategy)
+    (p : Nrc.Program.t) (input_values : (string * V.t) list) : run =
+  let stats = Exec.Stats.create () in
+  let cluster = config.cluster in
+  let exec_options =
+    {
+      Exec.Executor.skew_aware = config.skew_aware;
+      cogroup =
+        (match strategy with SparkSQL_proxy -> false | _ -> config.cogroup);
+    }
+  in
+  let config =
+    match strategy with
+    | SparkSQL_proxy ->
+      (* no cogroup, no aggregation pushdown, and no column pruning: explode
+         stays with the source relation and carries full-width tuples
+         (Section 6, "SparkSQL does not support explode in the SELECT
+         clause...") *)
+      { config with
+        optimizer =
+          { config.optimizer with push_aggs = false; prune_columns = false } }
+    | _ -> config
+  in
+  let result_name = Nrc.Program.result_name p in
+  let targets =
+    List.map (fun { Nrc.Program.target; _ } -> target) p.Nrc.Program.assignments
+  in
+  match strategy with
+  | Standard | SparkSQL_proxy ->
+    let plans = compile_standard ~config p in
+    let env = load_inputs ~cluster p.Nrc.Program.inputs input_values in
+    let steps_out = ref [] in
+    let outcome, wall =
+      timed (fun () ->
+          catch_oom (fun () ->
+              let steps =
+                run_steps ~options:exec_options ~config:cluster ~stats ~targets
+                  ~steps_out env plans
+              in
+              let value =
+                if config.collect then
+                  Some (Exec.Dataset.to_bag (Hashtbl.find env result_name))
+                else None
+              in
+              (value, steps)))
+    in
+    let result, failure = outcome in
+    let value, steps =
+      match result with
+      | Some (v, s) -> (v, s)
+      | None -> (None, List.rev !steps_out)
+    in
+    {
+      strategy = strategy_name strategy;
+      value;
+      stats;
+      wall_seconds = wall;
+      failure;
+      step_seconds = steps;
+    }
+  | Shredded { unshred } ->
+    let compiled = compile_shredded ~config p in
+    let env = load_shredded_inputs ~cluster p.Nrc.Program.inputs input_values in
+    let steps_out = ref [] in
+    let outcome, wall =
+      timed (fun () ->
+          catch_oom (fun () ->
+              let steps =
+                run_steps ~options:exec_options ~config:cluster ~stats ~targets
+                  ~steps_out env compiled.plans
+              in
+              match unshred, compiled.unshred_plan with
+              | true, Some uplan ->
+                let before = stats.Exec.Stats.sim_seconds in
+                let ds =
+                  Exec.Executor.run_plan ~options:exec_options ~config:cluster
+                    ~stats env uplan
+                in
+                let steps =
+                  steps
+                  @ [ ("Unshred", stats.Exec.Stats.sim_seconds -. before) ]
+                in
+                ((if config.collect then Some (Exec.Dataset.to_bag ds) else None), steps)
+              | _ ->
+                ( (if config.collect then
+                     Some
+                       (Exec.Dataset.to_bag
+                          (Hashtbl.find env compiled.pipeline.Shred_pipeline.top))
+                   else None),
+                  steps )))
+    in
+    let result, failure = outcome in
+    let value, steps =
+      match result with
+      | Some (v, s) -> (v, s)
+      | None -> (None, List.rev !steps_out)
+    in
+    {
+      strategy = strategy_name (Shredded { unshred });
+      value;
+      stats;
+      wall_seconds = wall;
+      failure;
+      step_seconds = steps;
+    }

@@ -1,0 +1,95 @@
+(** Top-level TraNCE-style API: compile an NRC program down one of the two
+    routes of Figure 2 and execute it on the cluster simulator.
+
+    - {b Standard}: unnesting -> plan -> optimization -> distributed
+      execution over nested top-level tuples (Section 3).
+    - {b Shredded}: symbolic shredding -> materialization (domain
+      elimination) -> per-assignment unnesting -> distributed execution
+      over flat shredded datasets, optionally followed by unshredding
+      (Section 4).
+
+    Both routes accept skew-aware execution (Section 5). Per-worker memory
+    exhaustion is reported as a failed run (the paper's FAIL bars), never
+    an exception. *)
+
+type strategy =
+  | Standard
+  | Shredded of { unshred : bool }
+      (** [unshred = true] reassembles the nested result (the paper's
+          Shred+Unshred series); [false] leaves the shredded datasets for a
+          downstream consumer and returns the top bag *)
+  | SparkSQL_proxy
+      (** the paper's strongest competitor, modelled as the standard route
+          minus cogroup fusion, aggregation pushdown, and column pruning —
+          the behavioural differences Section 6 identifies *)
+
+val strategy_name : strategy -> string
+
+type config = {
+  cluster : Exec.Config.t;
+  skew_aware : bool;  (** Section 5 operators *)
+  cogroup : bool;  (** join+nest fusion (Section 3, Optimization) *)
+  optimizer : Plan.Optimize.config;
+  materializer : Materialize.config;
+  collect : bool;  (** gather the result back to the driver *)
+}
+
+val default_config : config
+
+type run = {
+  strategy : string;
+  value : Nrc.Value.t option;  (** None when not collected or failed *)
+  stats : Exec.Stats.t;
+  wall_seconds : float;
+  failure : string option;
+      (** ["Step2/unnest: 5MB > 4MB"]-style description when a worker
+          exceeded its budget — the paper's FAIL *)
+  step_seconds : (string * float) list;
+      (** simulated seconds per source assignment (shredded dictionary
+          assignments fold into their step by name prefix); a trailing
+          ["Unshred"] entry covers reassembly *)
+}
+
+val pp_run : Format.formatter -> run -> unit
+
+(** {2 Compilation} *)
+
+val compile_standard :
+  ?config:config -> Nrc.Program.t -> (string * Plan.Op.t) list
+(** One optimized plan per assignment. *)
+
+type shredded_compiled = {
+  pipeline : Shred_pipeline.t;
+  plans : (string * Plan.Op.t) list;
+      (** materialized assignments; dictionary outputs wrapped in
+          [BagToDict] to establish the label partitioning guarantee *)
+  unshred_plan : Plan.Op.t option;
+}
+
+val compile_shredded : ?config:config -> Nrc.Program.t -> shredded_compiled
+
+(** {2 Input loading} *)
+
+val load_inputs :
+  cluster:Exec.Config.t ->
+  (string * Nrc.Types.t) list ->
+  (string * Nrc.Value.t) list ->
+  Exec.Executor.env
+
+val load_shredded_inputs :
+  cluster:Exec.Config.t ->
+  (string * Nrc.Types.t) list ->
+  (string * Nrc.Value.t) list ->
+  Exec.Executor.env
+(** Value-shred nested inputs; dictionaries loaded with their label
+    partitioning guarantee. *)
+
+(** {2 Execution} *)
+
+val run :
+  ?config:config ->
+  strategy:strategy ->
+  Nrc.Program.t ->
+  (string * Nrc.Value.t) list ->
+  run
+(** Compile and execute; never raises on memory exhaustion. *)

@@ -1,0 +1,61 @@
+(** Cost estimation for compiled plans — the paper's stated future work
+    (Section 8: "cost estimation for these programs, and the application of
+    such estimates to optimization decisions").
+
+    Per-table statistics come from the actual inputs; cardinalities
+    propagate through plan operators with documented textbook heuristics;
+    the scalar objective mirrors the simulator's time model (CPU bytes +
+    weighted network bytes). The [cost_model] bench target validates the
+    standard-vs-shredded ranking against measured simulator times. *)
+
+type table_stats = {
+  rows : float;
+  row_bytes : float;  (** average top-level row size *)
+  fanouts : (string list * float) list;
+      (** average inner-bag size per attribute path *)
+}
+
+type stats = (string * table_stats) list
+
+val default_fanout : float
+
+val stats_of_bag : Nrc.Value.t -> table_stats
+val stats_of_inputs : (string * Nrc.Value.t) list -> stats
+
+type estimate = {
+  out_rows : float;
+  out_bytes : float;  (** total output bytes *)
+  cpu : float;  (** bytes touched *)
+  net : float;  (** bytes shuffled or broadcast *)
+}
+
+val estimate : stats -> Plan.Op.t -> estimate
+val selectivity : Plan.Sexpr.t -> float
+
+val estimate_assignments :
+  stats -> (string * Plan.Op.t) list -> float * stats
+(** Total scalar cost of an assignment sequence; each result's estimated
+    statistics feed later plans. Returns the extended statistics too. *)
+
+type recommendation = {
+  standard_cost : float;
+  shredded_cost : float;
+  pick : [ `Standard | `Shredded ];
+}
+
+val recommend :
+  ?config:Api.config ->
+  ?unshred:bool ->
+  Nrc.Program.t ->
+  (string * Nrc.Value.t) list ->
+  recommendation
+(** Estimate both routes and pick the cheaper; with [unshred] the shredded
+    estimate includes reassembling the nested output. *)
+
+val run_auto :
+  ?config:Api.config ->
+  ?unshred:bool ->
+  Nrc.Program.t ->
+  (string * Nrc.Value.t) list ->
+  recommendation * Api.run
+(** Cost-based execution: estimate, then run the recommended route. *)

@@ -1,0 +1,94 @@
+(** The shredded compilation pipeline (Section 4): symbolic shredding,
+    materialization with domain elimination, and optional unshredding, for
+    whole NRC programs. The result is an ordinary flat NRC program over
+    shredded datasets — ready for the same unnesting / code generation /
+    execution stages as the standard route. *)
+
+module E = Nrc.Expr
+module T = Nrc.Types
+
+type t = {
+  source : Nrc.Program.t;
+  mat : Nrc.Program.t;
+      (** materialized program: inputs are the shredded datasets, one
+          assignment per top bag / dictionary / label domain *)
+  registry : Registry.t;
+  result : string; (* the source program's result variable *)
+  top : string; (* dataset holding the result's top bag *)
+  dicts : (string list * string) list; (* result dict path -> dataset *)
+  output_ty : T.t; (* original type of the result *)
+  unshred_query : E.t option; (* None when the output is flat *)
+}
+
+(** Shred and materialize a whole program. *)
+let shred_program ?(config = Materialize.default) (p : Nrc.Program.t) : t =
+  let registry = Registry.create () in
+  let dtenv0 = p.Nrc.Program.inputs in
+  let type_env = Nrc.Program.typecheck p in
+  let _, assignments_rev, last =
+    List.fold_left
+      (fun (dtenv, acc, _last) { Nrc.Program.target; body } ->
+        let shredded = Symbolic.shred_expr ~registry ~dtenv body in
+        let mat = Materialize.materialize ~config ~registry ~target shredded in
+        let ty = Nrc.Typecheck.Env.find target type_env in
+        ( (target, ty) :: dtenv,
+          List.rev_append mat.Materialize.assignments acc,
+          Some (target, mat) ))
+      (dtenv0, [], None)
+      p.Nrc.Program.assignments
+  in
+  let result, last_mat =
+    match last with
+    | Some (t, m) -> (t, m)
+    | None -> invalid_arg "shred_program: empty program"
+  in
+  let output_ty = Nrc.Typecheck.Env.find result type_env in
+  let mat_inputs =
+    List.concat_map
+      (fun (name, ty) ->
+        match ty with
+        | T.TBag _ -> Shred_type.shredded_inputs name ty
+        | _ -> [ (name, ty) ])
+      p.Nrc.Program.inputs
+  in
+  let unshred_query =
+    match output_ty with
+    | T.TBag elem when not (T.is_flat elem) ->
+      Some (Unshred.query ~registry ~dataset:result elem)
+    | _ -> None
+  in
+  {
+    source = p;
+    mat =
+      Nrc.Program.make ~inputs:mat_inputs
+        (List.map
+           (fun (n, e) -> (n, e))
+           (List.rev assignments_rev));
+    registry;
+    result;
+    top = last_mat.Materialize.top;
+    dicts = last_mat.Materialize.dicts;
+    output_ty;
+    unshred_query;
+  }
+
+(** Reference evaluation of the shredded route (single-node, NRC
+    interpreter): shred the input values, run the materialized program, and
+    unshred the result. The oracle for the distributed shredded execution. *)
+let eval_shredded ?config (p : Nrc.Program.t)
+    (input_values : (string * Nrc.Value.t) list) :
+    t * Nrc.Eval.env * Nrc.Value.t =
+  let sp = shred_program ?config p in
+  let shredded_inputs =
+    Shred_value.shred_env p.Nrc.Program.inputs input_values
+  in
+  let env = Nrc.Program.eval sp.mat shredded_inputs in
+  let result_value =
+    match sp.unshred_query with
+    | Some q -> Nrc.Eval.eval env q
+    | None -> (
+      match Nrc.Eval.Env.find_opt sp.top env with
+      | Some v -> v
+      | None -> invalid_arg "eval_shredded: missing top bag")
+  in
+  (sp, env, result_value)

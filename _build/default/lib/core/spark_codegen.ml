@@ -1,0 +1,185 @@
+(** Spark code generation (Section 3, "Code Generation"): renders a plan as
+    the Scala/Spark-Dataset program the paper's system would emit — one
+    [val] binding per operator, Dataset column expressions for the scalar
+    layer, [explode]/[explode_outer] for the unnest operators,
+    [monotonically_increasing_id] for the unique IDs, [groupBy] with
+    [collect_list(struct(...))] or [sum(when(...))] for the Gamma
+    operators, and [repartition($"label")] for BagToDict.
+
+    The emitted text cannot be executed in this sealed environment (that is
+    the simulator's job — see DESIGN.md); it exists so the compilation
+    output is inspectable in the terms the paper uses, and it is covered by
+    golden tests on its structure. *)
+
+module E = Nrc.Expr
+module Op = Plan.Op
+module S = Plan.Sexpr
+
+let fresh_val =
+  let c = ref 0 in
+  fun () ->
+    incr c;
+    Printf.sprintf "ds%d" !c
+
+(* Spark column expression for a scalar expression *)
+let rec col_expr (e : S.t) : string =
+  match e with
+  | S.Col path -> Printf.sprintf "$\"%s\"" (String.concat "." path)
+  | S.Const v -> const v
+  | S.Prim (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (col_expr a) (E.prim_to_string op) (col_expr b)
+  | S.Cmp (E.Eq, a, b) ->
+    Printf.sprintf "(%s === %s)" (col_expr a) (col_expr b)
+  | S.Cmp (E.Ne, a, b) ->
+    Printf.sprintf "(%s =!= %s)" (col_expr a) (col_expr b)
+  | S.Cmp (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (col_expr a) (E.cmp_to_string op) (col_expr b)
+  | S.Logic (E.And, a, b) ->
+    Printf.sprintf "(%s && %s)" (col_expr a) (col_expr b)
+  | S.Logic (E.Or, a, b) ->
+    Printf.sprintf "(%s || %s)" (col_expr a) (col_expr b)
+  | S.Not a -> Printf.sprintf "!%s" (col_expr a)
+  | S.IsNull a -> Printf.sprintf "%s.isNull" (col_expr a)
+  | S.MkLabel { site; args } ->
+    Printf.sprintf "struct(lit(%d).as(\"site\")%s)" site
+      (String.concat ""
+         (List.mapi
+            (fun i a -> Printf.sprintf ", %s.as(\"arg%d\")" (col_expr a) i)
+            args))
+  | S.LabelArg (a, i) -> Printf.sprintf "%s.getField(\"arg%d\")" (col_expr a) i
+  | S.IsLabelSite (a, site) ->
+    Printf.sprintf "(%s.getField(\"site\") === %d)" (col_expr a) site
+  | S.MkTuple fields ->
+    Printf.sprintf "struct(%s)"
+      (String.concat ", "
+         (List.map (fun (n, x) -> Printf.sprintf "%s.as(\"%s\")" (col_expr x) n) fields))
+
+and const (v : Nrc.Value.t) : string =
+  match v with
+  | Nrc.Value.Int i -> Printf.sprintf "lit(%d)" i
+  | Nrc.Value.Real r -> Printf.sprintf "lit(%g)" r
+  | Nrc.Value.Str s -> Printf.sprintf "lit(%S)" s
+  | Nrc.Value.Bool b -> Printf.sprintf "lit(%b)" b
+  | Nrc.Value.Date d -> Printf.sprintf "lit(%d) /* date */" d
+  | Nrc.Value.Null -> "lit(null)"
+  | Nrc.Value.Bag [] -> "array()"
+  | v -> Printf.sprintf "lit(%S)" (Nrc.Value.to_string v)
+
+let named_cols fields =
+  String.concat ", "
+    (List.map (fun (n, e) -> Printf.sprintf "%s.as(\"%s\")" (col_expr e) n) fields)
+
+(** Emit the Scala for one plan; returns (lines, final val name). *)
+let rec emit (buf : Buffer.t) (op : Op.t) : string =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  match op with
+  | Op.Nil _ ->
+    let v = fresh_val () in
+    line "val %s = spark.emptyDataset  // Nil" v;
+    v
+  | Op.UnitRow ->
+    let v = fresh_val () in
+    line "val %s = spark.range(1).drop(\"id\")  // one empty row" v;
+    v
+  | Op.Scan { input; binder } ->
+    let v = fresh_val () in
+    line "val %s = %s.select(struct($\"*\").as(\"%s\"))" v input binder;
+    v
+  | Op.Select (p, c) ->
+    let c' = emit buf c in
+    let v = fresh_val () in
+    line "val %s = %s.filter(%s)" v c' (col_expr p);
+    v
+  | Op.Project (fields, c) ->
+    let c' = emit buf c in
+    let v = fresh_val () in
+    line "val %s = %s.select(%s)" v c' (named_cols fields);
+    v
+  | Op.Join { left; right; lkey; rkey; kind } ->
+    let l = emit buf left in
+    let r = emit buf right in
+    let v = fresh_val () in
+    let cond =
+      String.concat " && "
+        (List.map2
+           (fun a b -> Printf.sprintf "%s === %s" (col_expr a) (col_expr b))
+           lkey rkey)
+    in
+    line "val %s = %s.join(%s, %s, \"%s\")" v l r cond
+      (match kind with Op.Inner -> "inner" | Op.LeftOuter -> "left_outer");
+    v
+  | Op.Product (l0, r0) ->
+    let l = emit buf l0 in
+    let r = emit buf r0 in
+    let v = fresh_val () in
+    line "val %s = %s.crossJoin(broadcast(%s))" v l r;
+    v
+  | Op.Unnest { input; path; binder; outer; drop } ->
+    let c = emit buf input in
+    let v = fresh_val () in
+    let fn = if outer then "explode_outer" else "explode" in
+    let dropped =
+      if drop then Printf.sprintf ".drop($\"%s\")" (String.concat "." path)
+      else ""
+    in
+    line "val %s = %s.select($\"*\", %s($\"%s\").as(\"%s\"))%s" v c fn
+      (String.concat "." path) binder dropped;
+    v
+  | Op.AddIndex { input; col } ->
+    let c = emit buf input in
+    let v = fresh_val () in
+    line "val %s = %s.withColumn(\"%s\", monotonically_increasing_id())" v c col;
+    v
+  | Op.NestBag { input; keys; agg_keys; item; presence; out } ->
+    let c = emit buf input in
+    let v = fresh_val () in
+    let gb = named_cols (keys @ agg_keys) in
+    line
+      "val %s = %s.groupBy(%s).agg(collect_list(when(%s, %s)).as(\"%s\"))  // \
+       Gamma-union; NULL casts to empty bag"
+      v c gb (col_expr presence) (col_expr item) out;
+    v
+  | Op.NestSum { input; keys; agg_keys; aggs; presence } ->
+    let c = emit buf input in
+    let v = fresh_val () in
+    let gb = named_cols (keys @ agg_keys) in
+    let sums =
+      String.concat ", "
+        (List.map
+           (fun (n, e) ->
+             Printf.sprintf "sum(when(%s, %s).otherwise(0)).as(\"%s\")"
+               (col_expr presence) (col_expr e) n)
+           aggs)
+    in
+    line "val %s = %s.groupBy(%s).agg(%s)  // Gamma-plus; NULL casts to 0" v c
+      gb sums;
+    v
+  | Op.Dedup c0 ->
+    let c = emit buf c0 in
+    let v = fresh_val () in
+    line "val %s = %s.distinct()" v c;
+    v
+  | Op.UnionAll (l0, r0) ->
+    let l = emit buf l0 in
+    let r = emit buf r0 in
+    let v = fresh_val () in
+    line "val %s = %s.unionByName(%s)" v l r;
+    v
+  | Op.BagToDict { input; label } ->
+    let c = emit buf input in
+    let v = fresh_val () in
+    line "val %s = %s.repartition(%s)  // BagToDict: label partitioning guarantee"
+      v c (col_expr label);
+    v
+
+(** Render a whole plan as a Scala snippet assigning the result to [name]. *)
+let plan_to_scala ~name (op : Op.t) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "// ---- %s ----\n" name);
+  let last = emit buf op in
+  Buffer.add_string buf (Printf.sprintf "val %s = %s\n" name last);
+  Buffer.contents buf
+
+(** Render the compiled assignments of a program (either route). *)
+let assignments_to_scala (plans : (string * Op.t) list) : string =
+  String.concat "\n" (List.map (fun (n, p) -> plan_to_scala ~name:n p) plans)

@@ -1,0 +1,13 @@
+(** Unshredding: reconstruct a nested result from its materialized shredded
+    form. The reconstruction is itself an NRC query over the top bag and
+    the flat dictionaries (per-label lookups, which unnesting turns into
+    label joins and regrouping), so its cost is measured on the same
+    substrate as everything else — the Unshred series of the paper's
+    experiments. *)
+
+val query :
+  registry:Registry.t -> dataset:string -> Nrc.Types.t -> Nrc.Expr.t
+(** [query ~registry ~dataset elem_ty]: the NRC expression rebuilding a
+    nested bag with the given original element type from [dataset]'s
+    shredded datasets (dictionary names resolved through the registry, so
+    aliased levels read input dictionaries directly). *)

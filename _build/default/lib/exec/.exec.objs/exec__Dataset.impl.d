@@ -1,0 +1,1 @@
+lib/exec/dataset.ml: Array List Nrc

@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Config Dataset Hashtbl Nrc Plan Stats

@@ -1,0 +1,39 @@
+(** Cluster-simulator configuration.
+
+    The paper's testbed is a 5-worker Spark cluster with 25 executors, 1000
+    shuffle partitions, 64 GB per executor, a 10 MB auto-broadcast limit and
+    a 2.5% per-partition heavy-key sampling threshold (Sections 5-6). The
+    simulator preserves the *ratios* at laptop scale; [worker_mem] is the
+    lever that turns the paper's memory-saturation failures into
+    {!Stats.Worker_out_of_memory}. *)
+
+type t = {
+  workers : int; (* worker nodes; partitions are assigned round-robin *)
+  partitions : int; (* shuffle partitions *)
+  worker_mem : int; (* byte budget per worker per stage *)
+  broadcast_limit : int; (* auto-broadcast threshold, bytes (Spark: 10MB) *)
+  sample_per_partition : int; (* tuples sampled per partition for skew *)
+  heavy_threshold : float; (* fraction of a partition's sample (paper: 2.5%) *)
+  cpu_weight : float; (* simulated seconds per processed byte *)
+  net_weight : float; (* simulated seconds per byte received by one node *)
+  seed : int;
+}
+
+let default =
+  {
+    workers = 5;
+    partitions = 40;
+    worker_mem = 64 * 1024 * 1024;
+    broadcast_limit = 256 * 1024;
+    sample_per_partition = 40;
+    heavy_threshold = 0.025;
+    cpu_weight = 1e-8;
+    net_weight = 4e-8;
+    seed = 42;
+  }
+
+(** A configuration that never fails on memory: used by tests that check
+    semantics only. *)
+let unbounded = { default with worker_mem = max_int }
+
+let worker_of_partition t p = p mod t.workers

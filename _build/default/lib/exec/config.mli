@@ -1,0 +1,26 @@
+(** Cluster-simulator configuration.
+
+    The paper's testbed is a 5-worker Spark cluster (25 executors, 1000
+    shuffle partitions, 64 GB per executor, 10 MB auto-broadcast, 2.5%
+    heavy-key sampling threshold; Sections 5-6). The simulator preserves
+    the ratios at laptop scale; [worker_mem] is the lever that turns memory
+    saturation into {!Stats.Worker_out_of_memory} — the paper's FAIL bars. *)
+
+type t = {
+  workers : int;  (** worker nodes; partitions assigned round-robin *)
+  partitions : int;  (** shuffle partitions *)
+  worker_mem : int;  (** byte budget per worker per stage *)
+  broadcast_limit : int;  (** auto-broadcast threshold (Spark: 10 MB) *)
+  sample_per_partition : int;  (** tuples sampled per partition for skew *)
+  heavy_threshold : float;  (** fraction of a partition's sample (2.5%) *)
+  cpu_weight : float;  (** simulated seconds per processed byte *)
+  net_weight : float;  (** simulated seconds per byte received by a node *)
+  seed : int;
+}
+
+val default : t
+
+val unbounded : t
+(** [default] with no memory budget: for semantics-only tests. *)
+
+val worker_of_partition : t -> int -> int

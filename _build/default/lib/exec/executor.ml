@@ -1,0 +1,746 @@
+(** The distributed plan executor: evaluates plans over partitioned datasets
+    the way a Spark cluster would, with instrumentation.
+
+    Faithfulness notes (per DESIGN.md substitution table):
+
+    - datasets are partitioned arrays; operators run partition-wise;
+    - joins pick between broadcast (small right side, like Spark's
+      auto-broadcast) and shuffle hash join, honouring existing partitioning
+      guarantees to skip shuffles;
+    - nest operators shuffle by their grouping key, then reuse the exact
+      single-node semantics of {!Plan.Local_eval} per partition;
+    - join+nest pairs that build nested objects are fused into a cogroup
+      (Section 3, Optimization) when the nest key contains the unique row id,
+      avoiding the flattened intermediate;
+    - skew-aware mode implements Figure 6: per-partition sampling determines
+      heavy keys; the light part follows the standard implementation while
+      the heavy part keeps its location and receives broadcast partners;
+    - every operator is accounted: bytes shuffled and broadcast, per-worker
+      resident bytes checked against the memory budget (raising
+      {!Stats.Worker_out_of_memory}, the paper's FAIL entries), and a
+      simulated time accumulating per-stage maxima over partitions, which is
+      where load imbalance shows. *)
+
+module V = Nrc.Value
+module S = Plan.Sexpr
+module Op = Plan.Op
+module Row = Plan.Row
+module L = Plan.Local_eval
+
+type options = {
+  skew_aware : bool;
+  cogroup : bool; (* fuse join+nest into cogroup when safe *)
+}
+
+let default_options = { skew_aware = false; cogroup = true }
+
+type env = (string, Dataset.t) Hashtbl.t
+
+let env_of_list l : env =
+  let h = Hashtbl.create 16 in
+  List.iter (fun (n, d) -> Hashtbl.replace h n d) l;
+  h
+
+(* hash over evaluated key tuples, shared by shuffling and heavy-key sets *)
+let hash_key (kv : V.t list) =
+  abs (List.fold_left (fun acc v -> (acc * 31) + V.hash v) 17 kv)
+
+module KeyTbl = Hashtbl.Make (struct
+  type t = V.t list
+
+  let equal a b = List.length a = List.length b && List.for_all2 V.equal a b
+  let hash = hash_key
+end)
+
+type rset = {
+  parts : Row.t array array;
+  key : S.t list option; (* partitioning guarantee over rows *)
+  skew : (S.t list * unit KeyTbl.t) option;
+      (* heavy keys of a skew-triple, carried between operators until
+         something alters the key (Section 5: "This set of heavy keys
+         remains associated to that skew-triple until the operator does
+         something to alter the key") *)
+}
+
+type state = { cfg : Config.t; opts : options; stats : Stats.t; env : env }
+
+(* ------------------------------------------------------------------ *)
+(* Accounting *)
+
+let part_bytes (parts : Row.t array array) : int array =
+  Array.map
+    (fun p -> Array.fold_left (fun acc r -> acc + Row.byte_size r) 0 p)
+    parts
+
+(* Charge one stage: per-worker residency check + simulated cpu time.
+   [extra_per_worker] models broadcast copies resident on every worker. *)
+let account st ~stage ?(extra_per_worker = 0) (input_bytes : int array list)
+    (output : Row.t array array) : unit =
+  let cfg = st.cfg in
+  let out_bytes = part_bytes output in
+  let nparts = Array.length out_bytes in
+  let worker = Array.make cfg.Config.workers extra_per_worker in
+  let add arr =
+    Array.iteri
+      (fun p b ->
+        let w = Config.worker_of_partition cfg p in
+        worker.(w) <- worker.(w) + b)
+      arr
+  in
+  List.iter add input_bytes;
+  add out_bytes;
+  let max_worker = Array.fold_left max 0 worker in
+  st.stats.Stats.peak_worker_bytes <-
+    max st.stats.Stats.peak_worker_bytes max_worker;
+  if max_worker > cfg.Config.worker_mem then
+    raise
+      (Stats.Worker_out_of_memory
+         { stage; worker_bytes = max_worker; budget = cfg.Config.worker_mem });
+  (* slowest partition bounds the stage *)
+  let max_part = ref 0 in
+  for p = 0 to nparts - 1 do
+    let b =
+      out_bytes.(p)
+      + List.fold_left
+          (fun acc arr -> acc + (if p < Array.length arr then arr.(p) else 0))
+          0 input_bytes
+    in
+    if b > !max_part then max_part := b
+  done;
+  st.stats.Stats.sim_seconds <-
+    st.stats.Stats.sim_seconds
+    +. (float_of_int !max_part *. cfg.Config.cpu_weight);
+  st.stats.Stats.rows_processed <-
+    st.stats.Stats.rows_processed
+    + Array.fold_left (fun acc p -> acc + Array.length p) 0 output
+
+(* ------------------------------------------------------------------ *)
+(* Shuffling *)
+
+let eval_keys row keys = List.map (S.eval row) keys
+
+(* Redistribute rows by key hash; counts shuffle bytes and simulated network
+   time (bounded by the most-loaded receiving partition — the skew
+   bottleneck). *)
+let shuffle st ?(stage = "shuffle") (r : rset) (keys : S.t list) : rset =
+  let cfg = st.cfg in
+  let n = cfg.Config.partitions in
+  let dest = Array.make n [] in
+  let received = Array.make n 0 in
+  let moved = ref 0 in
+  Array.iter
+    (fun part ->
+      Array.iter
+        (fun row ->
+          let p = hash_key (eval_keys row keys) mod n in
+          dest.(p) <- row :: dest.(p);
+          let b = Row.byte_size row in
+          moved := !moved + b;
+          received.(p) <- received.(p) + b)
+        part)
+    r.parts;
+  st.stats.Stats.shuffled_bytes <- st.stats.Stats.shuffled_bytes + !moved;
+  st.stats.Stats.stages <- st.stats.Stats.stages + 1;
+  let max_recv = Array.fold_left max 0 received in
+  st.stats.Stats.sim_seconds <-
+    st.stats.Stats.sim_seconds
+    +. (float_of_int max_recv *. cfg.Config.net_weight);
+  (* receiving workers must hold their partitions *)
+  let worker = Array.make cfg.Config.workers 0 in
+  Array.iteri
+    (fun p b ->
+      let w = Config.worker_of_partition cfg p in
+      worker.(w) <- worker.(w) + b)
+    received;
+  let max_worker = Array.fold_left max 0 worker in
+  st.stats.Stats.peak_worker_bytes <-
+    max st.stats.Stats.peak_worker_bytes max_worker;
+  if max_worker > cfg.Config.worker_mem then
+    raise
+      (Stats.Worker_out_of_memory
+         { stage; worker_bytes = max_worker; budget = cfg.Config.worker_mem });
+  {
+    parts = Array.map (fun l -> Array.of_list (List.rev l)) dest;
+    key = Some keys;
+    skew = None;
+  }
+
+(* shuffle only if the guarantee does not already hold *)
+let ensure_partitioned st ?stage (r : rset) (keys : S.t list) : rset =
+  match r.key with
+  | Some k when k = keys -> r
+  | _ -> shuffle st ?stage r keys
+
+(* gather everything to partition 0 (global aggregates) *)
+let gather st (r : rset) : rset =
+  let all =
+    Array.to_list r.parts |> List.concat_map Array.to_list
+  in
+  let bytes = List.fold_left (fun acc row -> acc + Row.byte_size row) 0 all in
+  st.stats.Stats.shuffled_bytes <- st.stats.Stats.shuffled_bytes + bytes;
+  st.stats.Stats.stages <- st.stats.Stats.stages + 1;
+  let parts = Array.make st.cfg.Config.partitions [||] in
+  parts.(0) <- Array.of_list all;
+  { parts; key = None; skew = None }
+
+let rset_total_bytes r = Array.fold_left ( + ) 0 (part_bytes r.parts)
+
+(* ------------------------------------------------------------------ *)
+(* Heavy-key detection (Section 5): per-partition sampling; a key is heavy
+   when it covers at least [heavy_threshold] of a partition's sample. *)
+
+let heavy_keys st (r : rset) (keys : S.t list) : unit KeyTbl.t =
+  let cfg = st.cfg in
+  let heavy = KeyTbl.create 8 in
+  Array.iter
+    (fun part ->
+      let n = Array.length part in
+      if n > 0 then begin
+        let sample_n = min n cfg.Config.sample_per_partition in
+        let stride = max 1 (n / sample_n) in
+        let counts = KeyTbl.create 16 in
+        let sampled = ref 0 in
+        let i = ref 0 in
+        while !i < n do
+          let kv = eval_keys part.(!i) keys in
+          KeyTbl.replace counts kv
+            (1 + Option.value (KeyTbl.find_opt counts kv) ~default:0);
+          incr sampled;
+          i := !i + stride
+        done;
+        let cutoff =
+          max 2
+            (int_of_float
+               (ceil (cfg.Config.heavy_threshold *. float_of_int !sampled)))
+        in
+        KeyTbl.iter
+          (fun kv c -> if c >= cutoff then KeyTbl.replace heavy kv ())
+          counts
+      end)
+    r.parts;
+  heavy
+
+let split_by_keys (r : rset) (keys : S.t list) (hk : unit KeyTbl.t) :
+    rset * rset =
+  let light = Array.map (fun _ -> []) r.parts in
+  let heavy = Array.map (fun _ -> []) r.parts in
+  Array.iteri
+    (fun p part ->
+      Array.iter
+        (fun row ->
+          let kv = eval_keys row keys in
+          if KeyTbl.mem hk kv then heavy.(p) <- row :: heavy.(p)
+          else light.(p) <- row :: light.(p))
+        part)
+    r.parts;
+  let mk arr = Array.map (fun l -> Array.of_list (List.rev l)) arr in
+  ( { parts = mk light; key = r.key; skew = None },
+    { parts = mk heavy; key = None; skew = None } )
+
+let union_parts ?(skew = None) a b =
+  {
+    parts = Array.mapi (fun i p -> Array.append p b.parts.(i)) a.parts;
+    key = None;
+    skew;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Join strategies *)
+
+let index_rows rkey (rows : Row.t array) : Row.t list ref KeyTbl.t =
+  let tbl = KeyTbl.create 64 in
+  Array.iter
+    (fun row ->
+      let kv = eval_keys row rkey in
+      if not (List.exists V.is_null kv) then begin
+        match KeyTbl.find_opt tbl kv with
+        | Some cell -> cell := row :: !cell
+        | None -> KeyTbl.add tbl kv (ref [ row ])
+      end)
+    rows;
+  tbl
+
+let join_partition ~lkey ~kind ~rcols (index : Row.t list ref KeyTbl.t)
+    (lpart : Row.t array) : Row.t array =
+  let out = ref [] in
+  Array.iter
+    (fun lrow ->
+      let kv = eval_keys lrow lkey in
+      let matches =
+        if List.exists V.is_null kv then []
+        else
+          match KeyTbl.find_opt index kv with
+          | Some cell -> List.rev !cell
+          | None -> []
+      in
+      match matches, kind with
+      | [], Op.LeftOuter -> out := (lrow @ Row.nulls rcols) :: !out
+      | [], Op.Inner -> ()
+      | ms, _ -> List.iter (fun rrow -> out := (lrow @ rrow) :: !out) ms)
+    lpart;
+  Array.of_list (List.rev !out)
+
+(* broadcast join: right side replicated to every worker *)
+let broadcast_join st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols :
+    rset =
+  let rbytes = rset_total_bytes r in
+  st.stats.Stats.broadcast_bytes <-
+    st.stats.Stats.broadcast_bytes + (rbytes * st.cfg.Config.workers);
+  let all_right =
+    Array.to_list r.parts |> List.concat_map Array.to_list |> Array.of_list
+  in
+  let index = index_rows rkey all_right in
+  let out = Array.map (join_partition ~lkey ~kind ~rcols index) l.parts in
+  account st ~stage ~extra_per_worker:rbytes
+    [ part_bytes l.parts ]
+    out;
+  { parts = out; key = l.key; skew = None }
+
+let shuffle_join st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols :
+    rset =
+  let l' = ensure_partitioned st ~stage l lkey in
+  let r' = ensure_partitioned st ~stage r rkey in
+  let out =
+    Array.mapi
+      (fun p lpart ->
+        let index = index_rows rkey r'.parts.(p) in
+        join_partition ~lkey ~kind ~rcols index lpart)
+      l'.parts
+  in
+  account st ~stage [ part_bytes l'.parts; part_bytes r'.parts ] out;
+  { parts = out; key = Some lkey; skew = None }
+
+(* Figure 6: skew-aware join. The heavy-key set is taken from the incoming
+   skew-triple when it matches the join key (it "remains associated until
+   the operator alters the key"); otherwise it is regenerated by
+   sampling. The resulting skew-triple carries the keys forward. *)
+let skew_join st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols : rset =
+  let hk =
+    match l.skew with
+    | Some (k, hk) when k = lkey -> hk
+    | _ -> heavy_keys st l lkey
+  in
+  if KeyTbl.length hk = 0 then
+    { (shuffle_join st ~stage l r ~lkey ~rkey ~kind ~rcols) with
+      skew = Some (lkey, hk) }
+  else begin
+    let x_l, x_h = split_by_keys l lkey hk in
+    let y_l, y_h = split_by_keys r rkey hk in
+    let light = shuffle_join st ~stage:(stage ^ ":light") x_l y_l ~lkey ~rkey ~kind ~rcols in
+    (* heavy side: X_H keeps its location; Y_H is broadcast *)
+    let heavy =
+      broadcast_join st ~stage:(stage ^ ":heavy") x_h y_h ~lkey ~rkey ~kind ~rcols
+    in
+    union_parts ~skew:(Some (lkey, hk)) light heavy
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cogroup fusion: NestBag directly over Join, one shuffle per side, no
+   flattened intermediate. Safe when the nest keys contain the unique row id
+   of the left side (each group is exactly one left row). *)
+
+let has_unique_id keys =
+  List.exists
+    (fun (_, e) ->
+      match e with
+      | S.Col [ c ] | S.Col (c :: _) ->
+        String.length c >= 3 && String.sub c 0 3 = "id%"
+      | _ -> false)
+    keys
+
+let cols_subset exprs cols =
+  let module SS = Set.Make (String) in
+  let cs = SS.of_list cols in
+  List.for_all
+    (fun e -> List.for_all (fun c -> SS.mem c cs) (S.cols_used e))
+    exprs
+
+let cogroup st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols ~keys
+    ~item ~presence ~out : rset =
+  let l' = ensure_partitioned st ~stage l lkey in
+  let r' = ensure_partitioned st ~stage r rkey in
+  let outp =
+    Array.mapi
+      (fun p lpart ->
+        let index = index_rows rkey r'.parts.(p) in
+        let rows = ref [] in
+        Array.iter
+          (fun lrow ->
+            let kv = eval_keys lrow lkey in
+            let matches =
+              if List.exists V.is_null kv then []
+              else
+                match KeyTbl.find_opt index kv with
+                | Some cell -> List.rev !cell
+                | None -> []
+            in
+            let joined =
+              match matches, kind with
+              | [], Op.LeftOuter -> [ lrow @ Row.nulls rcols ]
+              | [], Op.Inner -> []
+              | ms, _ -> List.map (fun rrow -> lrow @ rrow) ms
+            in
+            match joined with
+            | [] -> ()
+            | _ ->
+              let items =
+                List.filter_map
+                  (fun jrow ->
+                    if S.eval_pred jrow presence then Some (S.eval jrow item)
+                    else None)
+                  joined
+              in
+              let key_fields =
+                List.map (fun (n, e) -> (n, S.eval lrow e)) keys
+              in
+              rows := (key_fields @ [ (out, V.Bag items) ]) :: !rows)
+          lpart;
+        Array.of_list (List.rev !rows))
+      l'.parts
+  in
+  account st ~stage [ part_bytes l'.parts; part_bytes r'.parts ] outp;
+  { parts = outp; key = None; skew = None }
+
+(* ------------------------------------------------------------------ *)
+(* Operator dispatch *)
+
+let map_parts st ~stage ?(key = fun k -> k) ?(keep_skew = false) f (r : rset)
+    : rset =
+  let out = Array.map f r.parts in
+  account st ~stage [ part_bytes r.parts ] out;
+  { parts = out; key = key r.key; skew = (if keep_skew then r.skew else None) }
+
+let next_id_base = ref 0
+
+let rec run (st : state) (op : Op.t) : rset =
+  let cfg = st.cfg in
+  match op with
+  | Op.Nil _ ->
+    { parts = Array.make cfg.Config.partitions [||]; key = None; skew = None }
+  | Op.UnitRow ->
+    let parts = Array.make cfg.Config.partitions [||] in
+    parts.(0) <- [| [] |];
+    { parts; key = None; skew = None }
+  | Op.Scan { input; binder } -> (
+    match Hashtbl.find_opt st.env input with
+    | None -> invalid_arg (Printf.sprintf "Executor: unknown input %S" input)
+    | Some ds ->
+      {
+        parts =
+          Array.map (Array.map (fun v -> [ (binder, v) ])) ds.Dataset.parts;
+        key =
+          Option.map
+            (List.map (fun path -> S.Col (binder :: path)))
+            ds.Dataset.key;
+        skew = None;
+      })
+  | Op.Select (p, child) ->
+    let r = run st child in
+    map_parts st ~stage:"select" ~keep_skew:true
+      (fun part -> Array.of_list (List.filter (fun row -> S.eval_pred row p) (Array.to_list part)))
+      r
+      ~key:(fun k -> k)
+  | Op.Project (fields, child) ->
+    let r = run st child in
+    let new_key =
+      match r.key with
+      | None -> None
+      | Some ks ->
+        (* the guarantee survives if every key expr is re-exposed verbatim *)
+        let find_col e =
+          List.find_opt (fun (_, fe) -> fe = e) fields
+        in
+        let mapped = List.map find_col ks in
+        if List.for_all Option.is_some mapped then
+          Some (List.map (fun o -> S.Col [ fst (Option.get o) ]) mapped)
+        else None
+    in
+    map_parts st ~stage:"project"
+      (Array.map (fun row -> List.map (fun (n, e) -> (n, S.eval row e)) fields))
+      r
+      ~key:(fun _ -> new_key)
+  | Op.Join { left; right; lkey; rkey; kind } ->
+    let l = run st left in
+    let r = run st right in
+    let rcols = Op.columns right in
+    if st.opts.skew_aware then
+      skew_join st ~stage:"join(skew)" l r ~lkey ~rkey ~kind ~rcols
+    else if rset_total_bytes r <= cfg.Config.broadcast_limit then
+      broadcast_join st ~stage:"join(broadcast)" l r ~lkey ~rkey ~kind ~rcols
+    else shuffle_join st ~stage:"join(shuffle)" l r ~lkey ~rkey ~kind ~rcols
+  | Op.Product (left, right) ->
+    let l = run st left in
+    let r = run st right in
+    let rbytes = rset_total_bytes r in
+    st.stats.Stats.broadcast_bytes <-
+      st.stats.Stats.broadcast_bytes + (rbytes * cfg.Config.workers);
+    let all_right =
+      Array.to_list r.parts |> List.concat_map Array.to_list
+    in
+    let out =
+      Array.map
+        (fun lpart ->
+          Array.of_list
+            (List.concat_map
+               (fun lrow -> List.map (fun rrow -> lrow @ rrow) all_right)
+               (Array.to_list lpart)))
+        l.parts
+    in
+    account st ~stage:"product" ~extra_per_worker:rbytes
+      [ part_bytes l.parts ]
+      out;
+    { parts = out; key = l.key; skew = None }
+  | Op.Unnest { input; path; binder; outer; drop } ->
+    let r = run st input in
+    map_parts st ~stage:"unnest" ~keep_skew:true
+      (fun part ->
+        Array.of_list
+          (List.concat_map
+             (fun row ->
+               let bag = S.eval row (S.Col path) in
+               let row = if drop then L.drop_path row path else row in
+               match V.bag_items bag with
+               | [] -> if outer then [ row @ [ (binder, V.Null) ] ] else []
+               | items -> List.map (fun item -> row @ [ (binder, item) ]) items)
+             (Array.to_list part)))
+      r
+      ~key:(fun k -> k)
+  | Op.AddIndex { input; col } ->
+    let r = run st input in
+    incr next_id_base;
+    let base = !next_id_base * (1 lsl 50) in
+    let out =
+      Array.mapi
+        (fun p part ->
+          Array.mapi
+            (fun i row -> row @ [ (col, V.Int (base + (p lsl 28) + i)) ])
+            part)
+        r.parts
+    in
+    account st ~stage:"add_index" [ part_bytes r.parts ] out;
+    { parts = out; key = r.key; skew = r.skew }
+  | Op.NestBag
+      { input = Op.Join { left; right; lkey; rkey; kind };
+        keys; agg_keys = []; item; presence; out }
+    when st.opts.cogroup && (not st.opts.skew_aware) && has_unique_id keys
+         && cols_subset (List.map snd keys) (Op.columns left)
+         && cols_subset lkey (Op.columns left) ->
+    let l = run st left in
+    let r = run st right in
+    let rcols = Op.columns right in
+    if rset_total_bytes r <= cfg.Config.broadcast_limit then begin
+      (* broadcast cogroup: no shuffle at all *)
+      let rbytes = rset_total_bytes r in
+      st.stats.Stats.broadcast_bytes <-
+        st.stats.Stats.broadcast_bytes + (rbytes * cfg.Config.workers);
+      let all_right =
+        Array.to_list r.parts |> List.concat_map Array.to_list |> Array.of_list
+      in
+      let index = index_rows rkey all_right in
+      let outp =
+        Array.map
+          (fun lpart ->
+            let rows = ref [] in
+            Array.iter
+              (fun lrow ->
+                let kv = eval_keys lrow lkey in
+                let matches =
+                  if List.exists V.is_null kv then []
+                  else
+                    match KeyTbl.find_opt index kv with
+                    | Some cell -> List.rev !cell
+                    | None -> []
+                in
+                let joined =
+                  match matches, kind with
+                  | [], Op.LeftOuter -> [ lrow @ Row.nulls rcols ]
+                  | [], Op.Inner -> []
+                  | ms, _ -> List.map (fun rrow -> lrow @ rrow) ms
+                in
+                match joined with
+                | [] -> ()
+                | _ ->
+                  let items =
+                    List.filter_map
+                      (fun jrow ->
+                        if S.eval_pred jrow presence then Some (S.eval jrow item)
+                        else None)
+                      joined
+                  in
+                  rows :=
+                    (List.map (fun (n, e) -> (n, S.eval lrow e)) keys
+                    @ [ (out, V.Bag items) ])
+                    :: !rows)
+              lpart;
+            Array.of_list (List.rev !rows))
+          l.parts
+      in
+      account st ~stage:"cogroup(broadcast)" ~extra_per_worker:rbytes
+        [ part_bytes l.parts ]
+        outp;
+      { parts = outp; key = None; skew = None }
+    end
+    else
+      cogroup st ~stage:"cogroup" l r ~lkey ~rkey ~kind ~rcols ~keys ~item
+        ~presence ~out
+  | Op.NestBag { input; keys; agg_keys; item; presence; out } ->
+    let r = run st input in
+    let shuffle_keys = if keys = [] then agg_keys else keys in
+    let r' =
+      match shuffle_keys with
+      | [] -> gather st r
+      | sk -> ensure_partitioned st ~stage:"nest" r (List.map snd sk)
+    in
+    let outp =
+      Array.map
+        (fun part ->
+          Array.of_list
+            (L.nest_bag_rows ~keys ~agg_keys ~item ~presence ~out
+               (Array.to_list part)))
+        r'.parts
+    in
+    account st ~stage:"nest_bag" [ part_bytes r'.parts ] outp;
+    {
+      parts = outp;
+      key =
+        (match shuffle_keys with
+        | [] -> None
+        | sk -> Some (List.map (fun (n, _) -> S.Col [ n ]) sk));
+      skew = None (* Figure 6: nests return a null heavy-key set *);
+    }
+  | Op.NestSum { input; keys; agg_keys; aggs; presence } ->
+    let r = run st input in
+    (* map-side combine (Spark partial aggregation): pre-aggregate each
+       partition before shuffling, so Gamma-plus "mitigates skew-effects by
+       default by reducing the values of all keys" (Section 5) *)
+    let partials =
+      Array.map
+        (fun part ->
+          Array.of_list
+            (L.nest_sum_rows ~keys ~agg_keys ~aggs ~presence
+               (Array.to_list part)))
+        r.parts
+    in
+    account st ~stage:"nest_sum(combine)" [ part_bytes r.parts ] partials;
+    let r = { parts = partials; key = None; skew = None } in
+    (* reduce side: sum the partial sums *)
+    let keys' = List.map (fun (n, _) -> (n, S.Col [ n ])) keys in
+    let agg_keys' = List.map (fun (n, _) -> (n, S.Col [ n ])) agg_keys in
+    let aggs' = List.map (fun (n, _) -> (n, S.Col [ n ])) aggs in
+    let presence' =
+      match agg_keys with
+      | [] -> S.Const (V.Bool true)
+      | (n, _) :: _ -> S.Not (S.IsNull (S.Col [ n ]))
+    in
+    let shuffle_keys = if keys = [] then agg_keys' else keys' in
+    let r' =
+      match shuffle_keys with
+      | [] -> gather st r
+      | sk -> ensure_partitioned st ~stage:"nest_sum" r (List.map snd sk)
+    in
+    let outp =
+      Array.map
+        (fun part ->
+          Array.of_list
+            (L.nest_sum_rows ~keys:keys' ~agg_keys:agg_keys' ~aggs:aggs'
+               ~presence:presence' (Array.to_list part)))
+        r'.parts
+    in
+    account st ~stage:"nest_sum" [ part_bytes r'.parts ] outp;
+    {
+      parts = outp;
+      key =
+        (match shuffle_keys with
+        | [] -> None
+        | sk -> Some (List.map (fun (n, _) -> S.Col [ n ]) sk));
+      skew = None (* Figure 6: nests return a null heavy-key set *);
+    }
+  | Op.Dedup child ->
+    let r = run st child in
+    let cols = Op.columns child in
+    let key_exprs = List.map (fun c -> S.Col [ c ]) cols in
+    let r' = ensure_partitioned st ~stage:"dedup" r key_exprs in
+    map_parts st ~stage:"dedup"
+      (fun part ->
+        let values = Array.to_list part |> List.map (fun row -> V.Tuple row) in
+        Array.of_list
+          (List.map
+             (fun v -> match v with V.Tuple row -> row | _ -> assert false)
+             (V.dedup values)))
+      r'
+      ~key:(fun k -> k)
+  | Op.UnionAll (left, right) ->
+    let l = run st left in
+    let r = run st right in
+    let cols = Op.columns left in
+    let r_aligned =
+      Array.map (Array.map (fun row -> Row.restrict cols row)) r.parts
+    in
+    { parts = Array.mapi (fun i p -> Array.append p r_aligned.(i)) l.parts;
+      key = None;
+      skew = None }
+  | Op.BagToDict { input; label } ->
+    let r = run st input in
+    if st.opts.skew_aware then begin
+      (* Figure 6: repartition only light labels; heavy labels stay put;
+         the resulting dictionary is a skew-triple with known heavy keys *)
+      let hk =
+        match r.skew with
+        | Some (k, hk) when k = [ label ] -> hk
+        | _ -> heavy_keys st r [ label ]
+      in
+      if KeyTbl.length hk = 0 then
+        { (shuffle st ~stage:"bag_to_dict" r [ label ]) with
+          skew = Some ([ label ], hk) }
+      else begin
+        let light, heavy = split_by_keys r [ label ] hk in
+        let light' = shuffle st ~stage:"bag_to_dict(light)" light [ label ] in
+        union_parts ~skew:(Some ([ label ], hk)) light' heavy
+      end
+    end
+    else shuffle st ~stage:"bag_to_dict" r [ label ]
+
+(* ------------------------------------------------------------------ *)
+(* Entry points *)
+
+let rset_to_dataset (cols : string list) (r : rset) : Dataset.t =
+  let to_value =
+    match cols with
+    | [ "item" ] -> fun row -> Row.get row "item"
+    | _ -> fun row -> V.Tuple (Row.restrict cols row)
+  in
+  let key =
+    match r.key with
+    | None -> None
+    | Some ks ->
+      let path_of = function
+        | S.Col (c :: rest) -> (
+          match cols with
+          | [ "item" ] -> if c = "item" then Some rest else None
+          | _ -> Some (c :: rest))
+        | _ -> None
+      in
+      let paths = List.map path_of ks in
+      if List.for_all Option.is_some paths then
+        Some (List.map Option.get paths)
+      else None
+  in
+  { Dataset.parts = Array.map (Array.map to_value) r.parts; key }
+
+(** Execute one plan against named datasets; returns the result dataset. *)
+let run_plan ?(options = default_options) ~config ~stats (env : env)
+    (plan : Op.t) : Dataset.t =
+  let st = { cfg = config; opts = options; stats; env } in
+  let r = run st plan in
+  rset_to_dataset (Op.columns plan) r
+
+(** Execute a sequence of (name, plan) assignments, extending the
+    environment; returns the final environment. *)
+let run_assignments ?(options = default_options) ~config ~stats (env : env)
+    (plans : (string * Op.t) list) : env =
+  List.iter
+    (fun (name, plan) ->
+      let ds = run_plan ~options ~config ~stats env plan in
+      Hashtbl.replace env name ds)
+    plans;
+  env

@@ -1,0 +1,63 @@
+(** The distributed plan executor: evaluates plans over partitioned
+    datasets the way a Spark cluster would, fully instrumented.
+
+    - joins pick between broadcast (small right side) and shuffle hash
+      join, honouring partitioning guarantees to skip shuffles;
+    - Gamma-plus performs map-side partial aggregation before shuffling
+      ("mitigates skew-effects by default", Section 5);
+    - join+nest pairs building nested objects fuse into a cogroup when the
+      nest key contains the unique row id (Section 3, Optimization);
+    - skew-aware mode implements Figure 6: per-partition sampling finds
+      heavy keys; the light part follows the standard implementation while
+      the heavy part keeps its location and receives broadcast partners;
+      [BagToDict] repartitions only light labels;
+    - every operator is accounted: shuffled/broadcast bytes, per-worker
+      residency checked against the budget (raising
+      {!Stats.Worker_out_of_memory}), and simulated time from per-stage
+      maxima over partitions. *)
+
+type options = {
+  skew_aware : bool;  (** the skew-resilient operators of Section 5 *)
+  cogroup : bool;  (** fuse join+nest into cogroup when safe *)
+}
+
+val default_options : options
+(** Skew-unaware, cogroup fusion on. *)
+
+type env = (string, Dataset.t) Hashtbl.t
+
+val env_of_list : (string * Dataset.t) list -> env
+
+val hash_key : Nrc.Value.t list -> int
+
+module KeyTbl : Hashtbl.S with type key = Nrc.Value.t list
+(** Hash tables over evaluated key tuples (heavy-key sets). *)
+
+type rset = {
+  parts : Plan.Row.t array array;
+  key : Plan.Sexpr.t list option;  (** partitioning guarantee over rows *)
+  skew : (Plan.Sexpr.t list * unit KeyTbl.t) option;
+      (** heavy keys of a skew-triple, carried between operators until
+          something alters the key (Section 5) *)
+}
+
+val rset_to_dataset : string list -> rset -> Dataset.t
+
+val run_plan :
+  ?options:options ->
+  config:Config.t ->
+  stats:Stats.t ->
+  env ->
+  Plan.Op.t ->
+  Dataset.t
+(** Execute one plan against named datasets.
+    @raise Stats.Worker_out_of_memory when a worker exceeds its budget. *)
+
+val run_assignments :
+  ?options:options ->
+  config:Config.t ->
+  stats:Stats.t ->
+  env ->
+  (string * Plan.Op.t) list ->
+  env
+(** Execute (name, plan) assignments in order, extending the environment. *)

@@ -1,0 +1,49 @@
+(** Execution metrics collected by the simulator: shuffled and broadcast
+    bytes, peak per-worker memory, and a simulated wall-clock built from
+    per-stage maxima (the slowest partition bounds the stage, which is what
+    makes skew visible). *)
+
+type t = {
+  mutable shuffled_bytes : int;
+  mutable broadcast_bytes : int;
+  mutable peak_worker_bytes : int;
+  mutable rows_processed : int;
+  mutable stages : int;
+  mutable sim_seconds : float;
+}
+
+exception
+  Worker_out_of_memory of {
+    stage : string;
+    worker_bytes : int;
+    budget : int;
+  }
+
+let create () =
+  {
+    shuffled_bytes = 0;
+    broadcast_bytes = 0;
+    peak_worker_bytes = 0;
+    rows_processed = 0;
+    stages = 0;
+    sim_seconds = 0.;
+  }
+
+let add (a : t) (b : t) : t =
+  {
+    shuffled_bytes = a.shuffled_bytes + b.shuffled_bytes;
+    broadcast_bytes = a.broadcast_bytes + b.broadcast_bytes;
+    peak_worker_bytes = max a.peak_worker_bytes b.peak_worker_bytes;
+    rows_processed = a.rows_processed + b.rows_processed;
+    stages = a.stages + b.stages;
+    sim_seconds = a.sim_seconds +. b.sim_seconds;
+  }
+
+let pp ppf (s : t) =
+  Fmt.pf ppf
+    "shuffle=%.1fMB broadcast=%.1fMB peak_worker=%.1fMB rows=%d stages=%d \
+     sim=%.2fs"
+    (float_of_int s.shuffled_bytes /. 1048576.)
+    (float_of_int s.broadcast_bytes /. 1048576.)
+    (float_of_int s.peak_worker_bytes /. 1048576.)
+    s.rows_processed s.stages s.sim_seconds

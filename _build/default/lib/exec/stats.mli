@@ -1,0 +1,27 @@
+(** Execution metrics collected by the simulator: shuffled and broadcast
+    bytes, peak per-worker residency, and a simulated wall-clock built from
+    per-stage maxima over partitions (which is where skew and load
+    imbalance appear). *)
+
+type t = {
+  mutable shuffled_bytes : int;
+  mutable broadcast_bytes : int;
+  mutable peak_worker_bytes : int;
+  mutable rows_processed : int;
+  mutable stages : int;  (** shuffle boundaries *)
+  mutable sim_seconds : float;
+}
+
+exception
+  Worker_out_of_memory of {
+    stage : string;  (** "Step2/unnest"-style location *)
+    worker_bytes : int;
+    budget : int;
+  }
+(** A worker exceeded its memory budget: the paper's FAIL entries. Callers
+    that must not fail hard catch this ({!Trance.Api.run} reports it as a
+    failed run). *)
+
+val create : unit -> t
+val add : t -> t -> t
+val pp : Format.formatter -> t -> unit

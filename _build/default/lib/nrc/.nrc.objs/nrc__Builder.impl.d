@@ -1,0 +1,1 @@
+lib/nrc/builder.ml: Expr List Types

@@ -1,0 +1,1 @@
+lib/nrc/builder.mli: Expr Types

@@ -1,0 +1,1 @@
+lib/nrc/eval.ml: Expr Fmt Hashtbl List Map String Value

@@ -1,0 +1,1 @@
+lib/nrc/eval.mli: Expr Map Value

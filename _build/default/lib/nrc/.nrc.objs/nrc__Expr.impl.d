@@ -1,0 +1,1 @@
+lib/nrc/expr.ml: Fmt List Option Printf Set Stdlib String Types Value

@@ -1,0 +1,1 @@
+lib/nrc/expr.mli: Format Set Types Value

@@ -1,0 +1,1 @@
+lib/nrc/norm.ml: Expr List

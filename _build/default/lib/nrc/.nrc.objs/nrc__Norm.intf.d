@@ -1,0 +1,1 @@
+lib/nrc/norm.mli: Expr

@@ -1,0 +1,1 @@
+lib/nrc/parser.ml: Expr Fmt Lexer List Printf Program String Types

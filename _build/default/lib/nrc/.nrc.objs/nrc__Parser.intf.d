@@ -1,0 +1,1 @@
+lib/nrc/parser.mli: Expr Program Types

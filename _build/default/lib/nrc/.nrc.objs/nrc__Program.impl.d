@@ -1,0 +1,1 @@
+lib/nrc/program.ml: Eval Expr Fmt List Typecheck Types Value

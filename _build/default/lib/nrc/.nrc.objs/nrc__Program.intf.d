@@ -1,0 +1,1 @@
+lib/nrc/program.mli: Eval Expr Format Typecheck Types Value

@@ -1,0 +1,1 @@
+lib/nrc/typecheck.ml: Expr Fmt Hashtbl List Map String Types

@@ -1,0 +1,1 @@
+lib/nrc/typecheck.mli: Expr Map Types

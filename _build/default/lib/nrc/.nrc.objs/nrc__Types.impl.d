@@ -1,0 +1,1 @@
+lib/nrc/types.ml: Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/nrc/types.mli: Format

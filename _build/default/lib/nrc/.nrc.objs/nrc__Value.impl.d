@@ -1,0 +1,1 @@
+lib/nrc/value.ml: Float Fmt Hashtbl List Printf Set Stdlib String Types

@@ -1,0 +1,1 @@
+lib/nrc/value.mli: Format Types

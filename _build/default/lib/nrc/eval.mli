@@ -1,0 +1,27 @@
+(** Reference interpreter for NRC and the lambda-free fragment of
+    NRC^{Lbl+lambda} produced by materialization: the semantic oracle that
+    the unnesting, shredding, and distributed execution routes are tested
+    against. *)
+
+exception Eval_error of string
+
+module Env : Map.S with type key = string
+
+type env = Value.t Env.t
+
+val env_of_list : (string * Value.t) list -> env
+
+val eval_prim : Expr.prim -> Value.t -> Value.t -> Value.t
+(** Arithmetic with int/real promotion; division by zero yields 0. *)
+
+val eval_cmp : Expr.cmp -> Value.t -> Value.t -> Value.t
+
+val add_values : Value.t -> Value.t -> Value.t
+(** The commutative monoid used by [sumBy] / Gamma-plus. *)
+
+val eval : env -> Expr.t -> Value.t
+(** @raise Eval_error on unbound variables, type confusion, or the
+    symbolic-only constructs ([Lookup], [Lambda], [DictTreeUnion]). *)
+
+val eval_program : env -> (string * Expr.t) list -> env
+(** Evaluate assignments in order, extending the environment. *)

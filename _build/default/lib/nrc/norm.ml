@@ -1,0 +1,58 @@
+(** Source-level normalization rewrites.
+
+    [inline_lets] implements the "Normalize" step of the materialization
+    algorithm (Figure 5, line 3): recursively inline every [let] binding.
+    [simplify] additionally performs standard monad-comprehension
+    normalization steps that make unnesting applicable:
+
+    - beta-reduction of projections on tuple constructors,
+    - flattening of [for] over [for] / [if] / [union] / singleton / empty,
+    - hoisting [if] with no else out of singleton heads. *)
+
+let rec inline_lets (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Let (x, e1, e2) -> inline_lets (Expr.subst x (inline_lets e1) e2)
+  | _ -> Expr.map_children inline_lets e
+
+let rec simplify (e : Expr.t) : Expr.t =
+  let e = Expr.map_children simplify e in
+  match e with
+  (* projection on a tuple constructor *)
+  | Expr.Proj (Expr.Record fields, a) -> (
+    match List.assoc_opt a fields with
+    | Some v -> v
+    | None -> e)
+  (* let inlining *)
+  | Expr.Let (x, e1, e2) -> simplify (Expr.subst x e1 e2)
+  (* for x in (for y in e1 union e2) union e3
+     ==> for y in e1 union (for x in e2 union e3), y fresh if captured *)
+  | Expr.ForUnion (x, Expr.ForUnion (y, e1, e2), e3) ->
+    let y', e2' =
+      if Expr.is_free y e3 then begin
+        let y' = Expr.fresh ~hint:y () in
+        (y', Expr.subst y (Expr.Var y') e2)
+      end
+      else (y, e2)
+    in
+    simplify (Expr.ForUnion (y', e1, Expr.ForUnion (x, e2', e3)))
+  (* for x in {e1} union e2 ==> e2[x := e1] *)
+  | Expr.ForUnion (x, Expr.Singleton e1, e2) -> simplify (Expr.subst x e1 e2)
+  (* for x in (if c then e1) union e2 ==> if c then (for x in e1 union e2) *)
+  | Expr.ForUnion (x, Expr.If (c, e1, None), e2) ->
+    simplify (Expr.If (c, Expr.ForUnion (x, e1, e2), None))
+  (* for x in (e1 union e2) union e3 ==> (for..e1..) union (for..e2..) *)
+  | Expr.ForUnion (x, Expr.Union (e1, e2), e3) ->
+    simplify
+      (Expr.Union (Expr.ForUnion (x, e1, e3), Expr.ForUnion (x, e2, e3)))
+  (* for x in empty union e ==> empty of body element type: we cannot name
+     the element type without typing, so keep a canonical marker by reusing
+     the body under an impossible condition-free empty: the unnester treats
+     this case directly. *)
+  | Expr.ForUnion (_, Expr.Empty _, _) -> e
+  (* if true / if false *)
+  | Expr.If (Expr.Const (Expr.CBool true), e1, _) -> e1
+  | Expr.If (Expr.Const (Expr.CBool false), _, Some e2) -> e2
+  (* nested if-then fusion: if c1 then (if c2 then b) *)
+  | Expr.If (c1, Expr.If (c2, b, None), None) ->
+    Expr.If (Expr.Logic (Expr.And, c1, c2), b, None)
+  | _ -> e

@@ -1,0 +1,9 @@
+(** Source-level normalization rewrites. *)
+
+val inline_lets : Expr.t -> Expr.t
+(** Recursively inline every [let] (the "Normalize" step of Figure 5). *)
+
+val simplify : Expr.t -> Expr.t
+(** Monad-comprehension normal form: beta-reduce projections of records,
+    flatten [for] over [for]/[if]/[union]/singleton, fuse nested
+    conditionals, inline lets. Applied before unnesting and shredding. *)

@@ -1,0 +1,54 @@
+(** NRC programs: sequences of assignments [(var <= e)*] over a set of named
+    inputs (Figure 1). The last assignment is conventionally the program
+    result. *)
+
+type assignment = { target : string; body : Expr.t }
+
+type t = {
+  inputs : (string * Types.t) list; (* free input relations and their types *)
+  assignments : assignment list;
+}
+
+let make ~inputs assignments =
+  {
+    inputs;
+    assignments = List.map (fun (target, body) -> { target; body }) assignments;
+  }
+
+let of_expr ~inputs ?(name = "Result") e =
+  make ~inputs [ (name, e) ]
+
+let result_name t =
+  match List.rev t.assignments with
+  | [] -> invalid_arg "Program.result_name: empty program"
+  | { target; _ } :: _ -> target
+
+(** Type all assignments in order; returns the environment extended with every
+    assigned variable. Raises {!Typecheck.Type_error}. *)
+let typecheck ?(source = true) (t : t) : Typecheck.env =
+  List.fold_left
+    (fun env { target; body } ->
+      let ty = if source then Typecheck.check_source env body else Typecheck.infer env body in
+      Typecheck.Env.add target ty env)
+    (Typecheck.env_of_list t.inputs)
+    t.assignments
+
+(** Evaluate against input values; returns the full environment. *)
+let eval (t : t) (input_values : (string * Value.t) list) : Eval.env =
+  Eval.eval_program (Eval.env_of_list input_values)
+    (List.map (fun { target; body } -> (target, body)) t.assignments)
+
+(** Evaluate and return just the result value. *)
+let eval_result (t : t) (input_values : (string * Value.t) list) : Value.t =
+  let env = eval t input_values in
+  match Eval.Env.find_opt (result_name t) env with
+  | Some v -> v
+  | None -> invalid_arg "Program.eval_result"
+
+let pp ppf (t : t) =
+  List.iter
+    (fun { target; body } ->
+      Fmt.pf ppf "@[<hv 2>%s \u{21D0}@ %a@]@." target Expr.pp body)
+    t.assignments
+
+let to_string t = Fmt.str "%a" pp t

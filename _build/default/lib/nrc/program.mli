@@ -1,0 +1,25 @@
+(** NRC programs: sequences of assignments [(var <= e)*] over named inputs
+    (Figure 1). The last assignment is conventionally the program result. *)
+
+type assignment = { target : string; body : Expr.t }
+
+type t = {
+  inputs : (string * Types.t) list;
+  assignments : assignment list;
+}
+
+val make : inputs:(string * Types.t) list -> (string * Expr.t) list -> t
+val of_expr : inputs:(string * Types.t) list -> ?name:string -> Expr.t -> t
+
+val result_name : t -> string
+(** Target of the last assignment. @raise Invalid_argument if empty. *)
+
+val typecheck : ?source:bool -> t -> Typecheck.env
+(** Type every assignment in order; [source] (default true) additionally
+    rejects shredding constructs. Returns the extended environment. *)
+
+val eval : t -> (string * Value.t) list -> Eval.env
+val eval_result : t -> (string * Value.t) list -> Value.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

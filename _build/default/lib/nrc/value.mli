@@ -1,0 +1,90 @@
+(** Runtime values of the nested data model.
+
+    Bags are lists with explicit duplicates (multiplicity is positional).
+    [Null] only ever appears as the product of outer operators in the plan
+    language; NRC source programs cannot construct it. Labels are the
+    runtime counterpart of the shredding extension: created by a [NewLabel]
+    site, capturing a tuple of flat values; two labels are equal iff they
+    come from the same site and capture equal values. *)
+
+type t =
+  | Null
+  | Int of int
+  | Real of float
+  | Str of string
+  | Bool of bool
+  | Date of int  (** days since 1970-01-01 *)
+  | Label of label
+  | Tuple of (string * t) list
+  | Bag of t list
+
+and label = { site : int; args : t list }
+
+val unit_ : t
+val is_null : t -> bool
+
+(** {2 Ordering, equality, hashing} *)
+
+val compare : t -> t -> int
+(** Total structural order (used for grouping, dedup, canonicalization). *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** {2 Accessors} *)
+
+val field : t -> string -> t
+(** Tuple attribute access; [Null] propagates ([field Null _ = Null]).
+    @raise Invalid_argument on other non-tuples or missing attributes. *)
+
+val bag_items : t -> t list
+(** Contents of a bag; [Null] counts as the empty bag (outer-operator
+    semantics). @raise Invalid_argument on other non-bags. *)
+
+val as_int : t -> int
+val as_real : t -> float
+(** Accepts [Int] too (numeric promotion). *)
+
+val as_bool : t -> bool
+val as_string : t -> string
+val as_label : t -> label
+
+(** {2 Size and defaults} *)
+
+val byte_size : t -> int
+(** Rough binary-encoded size: drives the simulator's shuffle accounting
+    and worker memory budgets. *)
+
+val default_of_type : Types.t -> t
+(** The default value [get] returns on non-singleton bags (Section 2). *)
+
+val type_of : t -> Types.t
+(** Type of a closed value; bag elements assumed homogeneous. *)
+
+(** {2 Bag utilities} *)
+
+val canonicalize : t -> t
+(** Recursively sort all bag contents: canonical form for order-insensitive
+    comparison. *)
+
+val bag_equal : t -> t -> bool
+(** Equality up to element order (bags are unordered). *)
+
+val round_reals : ?digits:int -> t -> t
+(** Round every real to [digits] (default 6) decimal places. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Structural equality with a relative tolerance on reals. *)
+
+val approx_bag_equal : t -> t -> bool
+(** Bag equality up to element order and floating-point summation noise;
+    the comparison used to validate distributed aggregates against the
+    reference interpreter. *)
+
+val dedup : t list -> t list
+(** Distinct elements, first-occurrence order (multiplicities to one). *)
+
+(** {2 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

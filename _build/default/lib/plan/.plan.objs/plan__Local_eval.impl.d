@@ -1,0 +1,1 @@
+lib/plan/local_eval.ml: Hashtbl List Nrc Op Printf Row Sexpr

@@ -1,0 +1,1 @@
+lib/plan/local_eval.mli: Hashtbl Nrc Op Row Sexpr

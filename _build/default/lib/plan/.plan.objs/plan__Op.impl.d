@@ -1,0 +1,1 @@
+lib/plan/op.ml: Fmt List Sexpr String

@@ -1,0 +1,1 @@
+lib/plan/op.mli: Format Sexpr

@@ -1,0 +1,1 @@
+lib/plan/optimize.ml: List Map Nrc Op Option Printf Set Sexpr String

@@ -1,0 +1,1 @@
+lib/plan/optimize.mli: Op

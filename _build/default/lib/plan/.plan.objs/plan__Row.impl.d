@@ -1,0 +1,1 @@
+lib/plan/row.ml: Fmt List Nrc Printf

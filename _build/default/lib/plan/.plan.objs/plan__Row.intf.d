@@ -1,0 +1,1 @@
+lib/plan/row.mli: Format Nrc

@@ -1,0 +1,1 @@
+lib/plan/sexpr.ml: Fmt List Nrc Printf Row String

@@ -1,0 +1,1 @@
+lib/plan/sexpr.mli: Format Nrc Row

@@ -1,0 +1,113 @@
+(** Scalar expressions evaluated per row inside plan operators (selections,
+    projections, join keys, nest keys and aggregands).
+
+    Null semantics mirror the paper's outer operators: projecting a field of
+    a Null tuple yields Null; any primitive or comparison with a Null operand
+    yields Null, which selections treat as false and {!Op.NestSum} casts
+    to 0. *)
+
+type t =
+  | Col of string list (* column name followed by tuple-field path *)
+  | Const of Nrc.Value.t
+  | Prim of Nrc.Expr.prim * t * t
+  | Cmp of Nrc.Expr.cmp * t * t
+  | Logic of Nrc.Expr.logic * t * t
+  | Not of t
+  | IsNull of t
+  | MkLabel of { site : int; args : t list }
+  | LabelArg of t * int (* extract i-th captured value of a label *)
+  | IsLabelSite of t * int (* true iff the label was created by this site *)
+  | MkTuple of (string * t) list (* build a tuple value (for nested columns) *)
+
+let col c = Col [ c ]
+let path c fields = Col (c :: fields)
+
+let rec eval (row : Row.t) (e : t) : Nrc.Value.t =
+  match e with
+  | Col [] -> invalid_arg "Sexpr.eval: empty path"
+  | Col (c :: fields) ->
+    List.fold_left
+      (fun v f -> match v with Nrc.Value.Null -> Nrc.Value.Null | _ -> Nrc.Value.field v f)
+      (Row.get row c) fields
+  | Const v -> v
+  | Prim (op, a, b) -> (
+    match eval row a, eval row b with
+    | Nrc.Value.Null, _ | _, Nrc.Value.Null -> Nrc.Value.Null
+    | va, vb -> Nrc.Eval.eval_prim op va vb)
+  | Cmp (op, a, b) -> (
+    match eval row a, eval row b with
+    | Nrc.Value.Null, _ | _, Nrc.Value.Null -> Nrc.Value.Null
+    | va, vb -> Nrc.Eval.eval_cmp op va vb)
+  | Logic (op, a, b) -> (
+    match eval row a, eval row b with
+    | Nrc.Value.Null, _ | _, Nrc.Value.Null -> Nrc.Value.Null
+    | Nrc.Value.Bool x, Nrc.Value.Bool y ->
+      Nrc.Value.Bool (match op with Nrc.Expr.And -> x && y | Nrc.Expr.Or -> x || y)
+    | _ -> invalid_arg "Sexpr.eval: logic on non-boolean")
+  | Not a -> (
+    match eval row a with
+    | Nrc.Value.Null -> Nrc.Value.Null
+    | Nrc.Value.Bool b -> Nrc.Value.Bool (not b)
+    | _ -> invalid_arg "Sexpr.eval: not on non-boolean")
+  | IsNull a -> Nrc.Value.Bool (Nrc.Value.is_null (eval row a))
+  | MkLabel { site; args } ->
+    Nrc.Value.Label { site; args = List.map (eval row) args }
+  | LabelArg (a, i) -> (
+    match eval row a with
+    | Nrc.Value.Null -> Nrc.Value.Null
+    | Nrc.Value.Label { args; _ } -> (
+      (* out-of-bounds yields Null: rows from a foreign-site label are
+         filtered by the accompanying IsLabelSite guard *)
+      match List.nth_opt args i with Some v -> v | None -> Nrc.Value.Null)
+    | v ->
+      invalid_arg
+        (Printf.sprintf "Sexpr.eval: LabelArg on non-label %s"
+           (Nrc.Value.to_string v)))
+  | IsLabelSite (a, site) -> (
+    match eval row a with
+    | Nrc.Value.Null -> Nrc.Value.Null
+    | Nrc.Value.Label { site = s; _ } -> Nrc.Value.Bool (s = site)
+    | _ -> Nrc.Value.Bool false)
+  | MkTuple fields ->
+    Nrc.Value.Tuple (List.map (fun (n, x) -> (n, eval row x)) fields)
+
+(** Truthiness for selections: Null counts as false (outer-join semantics). *)
+let eval_pred row e =
+  match eval row e with
+  | Nrc.Value.Bool b -> b
+  | Nrc.Value.Null -> false
+  | v ->
+    invalid_arg
+      (Printf.sprintf "Sexpr.eval_pred: non-boolean %s" (Nrc.Value.to_string v))
+
+(** Columns referenced by an expression (for pushdown analyses). *)
+let rec cols_used (e : t) : string list =
+  match e with
+  | Col (c :: _) -> [ c ]
+  | Col [] -> []
+  | Const _ -> []
+  | Prim (_, a, b) | Cmp (_, a, b) | Logic (_, a, b) ->
+    cols_used a @ cols_used b
+  | Not a | IsNull a | LabelArg (a, _) | IsLabelSite (a, _) -> cols_used a
+  | MkLabel { args; _ } -> List.concat_map cols_used args
+  | MkTuple fields -> List.concat_map (fun (_, x) -> cols_used x) fields
+
+let rec pp ppf = function
+  | Col p -> Fmt.string ppf (String.concat "." p)
+  | Const v -> Nrc.Value.pp ppf v
+  | Prim (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp a (Nrc.Expr.prim_to_string op) pp b
+  | Cmp (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp a (Nrc.Expr.cmp_to_string op) pp b
+  | Logic (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp a (Nrc.Expr.logic_to_string op) pp b
+  | Not a -> Fmt.pf ppf "\u{00AC}%a" pp a
+  | IsNull a -> Fmt.pf ppf "isnull(%a)" pp a
+  | MkLabel { site; args } ->
+    Fmt.pf ppf "NewLabel_%d(%a)" site (Fmt.list ~sep:Fmt.comma pp) args
+  | LabelArg (a, i) -> Fmt.pf ppf "%a#%d" pp a i
+  | IsLabelSite (a, site) -> Fmt.pf ppf "site(%a)==%d" pp a site
+  | MkTuple fields ->
+    Fmt.pf ppf "\u{27E8}%a\u{27E9}"
+      (Fmt.list ~sep:Fmt.comma (fun ppf (n, x) -> Fmt.pf ppf "%s:%a" n pp x))
+      fields

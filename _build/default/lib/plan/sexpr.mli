@@ -1,0 +1,34 @@
+(** Scalar expressions evaluated per row inside plan operators (selections,
+    projections, join keys, nest keys and aggregands).
+
+    Null semantics mirror the paper's outer operators: projecting through a
+    Null tuple yields Null; primitives and comparisons with a Null operand
+    yield Null; selections treat Null as false; {!Op.NestSum} casts Null
+    aggregands to 0. *)
+
+type t =
+  | Col of string list  (** column name followed by tuple-field path *)
+  | Const of Nrc.Value.t
+  | Prim of Nrc.Expr.prim * t * t
+  | Cmp of Nrc.Expr.cmp * t * t
+  | Logic of Nrc.Expr.logic * t * t
+  | Not of t
+  | IsNull of t
+  | MkLabel of { site : int; args : t list }
+  | LabelArg of t * int
+      (** extract the i-th captured value of a label (Null when out of
+          range, e.g. on a foreign-site label filtered by {!IsLabelSite}) *)
+  | IsLabelSite of t * int  (** was the label created by this site? *)
+  | MkTuple of (string * t) list  (** build a tuple value *)
+
+val col : string -> t
+val path : string -> string list -> t
+
+val eval : Row.t -> t -> Nrc.Value.t
+val eval_pred : Row.t -> t -> bool
+(** Truthiness for selections: Null counts as false. *)
+
+val cols_used : t -> string list
+(** Columns referenced (for pushdown analyses). *)
+
+val pp : Format.formatter -> t -> unit

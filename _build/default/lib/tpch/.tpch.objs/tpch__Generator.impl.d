@@ -1,0 +1,1 @@
+lib/tpch/generator.ml: Array Hashtbl List Nrc Printf Schema String Zipf

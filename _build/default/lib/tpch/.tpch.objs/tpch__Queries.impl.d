@@ -1,0 +1,1 @@
+lib/tpch/queries.ml: Array Generator List Nrc Printf Schema

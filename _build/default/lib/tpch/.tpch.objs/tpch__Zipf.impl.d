@@ -1,0 +1,1 @@
+lib/tpch/zipf.ml: Array Float Int64

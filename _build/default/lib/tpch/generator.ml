@@ -1,0 +1,239 @@
+(** Deterministic TPC-H-like data generator with Zipfian skew (Section 6).
+
+    Cardinality ratios follow the paper's organization — the number of
+    top-level tuples decreases as the nesting level increases: at scale
+    factor 100 the paper has 600M lineitems / 150M orders / 15M customers /
+    25 nations / 5 regions; we preserve 4 lineitems per order, 10 orders per
+    customer, 25 nations, 5 regions at a configurable base size.
+
+    Skew factor s in 0..4 applies a Zipf(s) distribution to (a) the
+    customer of each order — few customers get very many orders, producing
+    skewed inner collections — and (b) the part key of each lineitem —
+    producing heavy join keys. Factor 0 is the uniform baseline. *)
+
+module V = Nrc.Value
+
+type scale = {
+  customers : int;
+  orders_per_customer : int; (* average *)
+  lineitems_per_order : int; (* average *)
+  parts : int;
+  skew : int; (* 0..4 *)
+  comment_width : int; (* padding width for wide-variant strings *)
+  seed : int;
+}
+
+let default_scale =
+  {
+    customers = 300;
+    orders_per_customer = 10;
+    lineitems_per_order = 4;
+    parts = 400;
+    skew = 0;
+    comment_width = 24;
+    seed = 7;
+  }
+
+type db = {
+  scale : scale;
+  lineitem : V.t;
+  orders : V.t;
+  customer : V.t;
+  nation : V.t;
+  region : V.t;
+  part : V.t;
+}
+
+let nations = 25
+let regions = 5
+
+let pad width tag i =
+  let s = Printf.sprintf "%s%d" tag i in
+  if String.length s >= width then s
+  else s ^ String.make (width - String.length s) '.'
+
+let generate (scale : scale) : db =
+  let rng = Zipf.create ~n:1 ~skew:0 ~seed:scale.seed in
+  (* uniform helper over arbitrary bounds *)
+  let u bound = Zipf.uniform rng bound in
+  let cw = scale.comment_width in
+  let region =
+    V.Bag
+      (List.init regions (fun r ->
+           V.Tuple
+             [
+               ("rkey", V.Int r);
+               ("rname", V.Str (Printf.sprintf "region%d" r));
+               ("rcomment", V.Str (pad cw "rc" r));
+             ]))
+  in
+  let nation =
+    V.Bag
+      (List.init nations (fun n ->
+           V.Tuple
+             [
+               ("nkey", V.Int n);
+               ("nname", V.Str (Printf.sprintf "nation%d" n));
+               ("rkey", V.Int (n mod regions));
+               ("ncomment", V.Str (pad cw "nc" n));
+             ]))
+  in
+  let customer =
+    V.Bag
+      (List.init scale.customers (fun c ->
+           V.Tuple
+             [
+               ("ckey", V.Int c);
+               ("cname", V.Str (Printf.sprintf "cust%d" c));
+               ("nkey", V.Int (c mod nations));
+               ("acctbal", V.Real (float_of_int (u 10000) /. 10.));
+               ("mktsegment", V.Str (Printf.sprintf "seg%d" (u 5)));
+               ("ccomment", V.Str (pad cw "cc" c));
+             ]))
+  in
+  let n_orders = scale.customers * scale.orders_per_customer in
+  let cust_zipf =
+    Zipf.create ~n:scale.customers ~skew:scale.skew ~seed:(scale.seed + 1)
+  in
+  let orders_list =
+    List.init n_orders (fun o ->
+        let ckey =
+          if scale.skew = 0 then o mod scale.customers else Zipf.draw cust_zipf
+        in
+        V.Tuple
+          [
+            ("okey", V.Int o);
+            ("ckey", V.Int ckey);
+            ("odate", V.Date (7000 + u 2500));
+            ("ototal", V.Real (float_of_int (u 500000) /. 100.));
+            ("opriority", V.Str (Printf.sprintf "p%d" (u 5)));
+            ("ocomment", V.Str (pad cw "oc" o));
+          ])
+  in
+  let n_lineitems = n_orders * scale.lineitems_per_order in
+  let part_zipf =
+    Zipf.create ~n:scale.parts ~skew:scale.skew ~seed:(scale.seed + 2)
+  in
+  let lineitem_list =
+    List.init n_lineitems (fun l ->
+        let pkey =
+          if scale.skew = 0 then u scale.parts else Zipf.draw part_zipf
+        in
+        V.Tuple
+          [
+            ("okey", V.Int (l mod n_orders));
+            ("pkey", V.Int pkey);
+            ("lqty", V.Real (1. +. float_of_int (u 50)));
+            ("eprice", V.Real (float_of_int (u 10000) /. 100.));
+            ("ldiscount", V.Real (float_of_int (u 10) /. 100.));
+            ("lcomment", V.Str (pad cw "lc" l));
+          ])
+  in
+  let part =
+    V.Bag
+      (List.init scale.parts (fun p ->
+           V.Tuple
+             [
+               ("pkey", V.Int p);
+               (* several parts share a name: aggregation across pkeys *)
+               ("pname", V.Str (Printf.sprintf "part%d" (p / 4)));
+               ("pprice", V.Real (1. +. (float_of_int (u 9999) /. 100.)));
+               ("brand", V.Str (Printf.sprintf "brand%d" (u 25)));
+               ("pcomment", V.Str (pad cw "pc" p));
+             ]))
+  in
+  {
+    scale;
+    lineitem = V.Bag lineitem_list;
+    orders = V.Bag orders_list;
+    customer;
+    nation;
+    region;
+    part;
+  }
+
+let flat_inputs (db : db) : (string * V.t) list =
+  [
+    ("Lineitem", db.lineitem);
+    ("Orders", db.orders);
+    ("Customer", db.customer);
+    ("Nation", db.nation);
+    ("Region", db.region);
+    ("Part", db.part);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Nested input construction: materializes the result of the flat-to-nested
+   query at a given level directly (the nested-to-* benchmarks take this as
+   their input, exactly as the paper materializes the flat-to-nested output
+   before timing the downstream queries). *)
+
+let index_by field bag =
+  let tbl : (V.t, V.t list ref) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun row ->
+      let k = V.field row field in
+      match Hashtbl.find_opt tbl k with
+      | Some cell -> cell := row :: !cell
+      | None -> Hashtbl.add tbl k (ref [ row ]))
+    (V.bag_items bag);
+  fun k ->
+    match Hashtbl.find_opt tbl k with
+    | Some cell -> List.rev !cell
+    | None -> []
+
+let project attrs row = V.Tuple (List.map (fun a -> (a, V.field row a)) attrs)
+
+(** The nested input of the given nesting level (1..4) and variant.
+    Level 1: Bag<odate..., o_parts: Bag<pkey, lqty...>>; level 2 wraps per
+    customer; and so on up to regions. Level 0 is the flat leaf projection. *)
+let nested_input ?(wide = false) ~level (db : db) : V.t =
+  let leaf_attrs =
+    if wide then Schema.leaf_attrs_wide else Schema.leaf_attrs_narrow
+  in
+  let items_of = index_by "okey" db.lineitem in
+  let level_attrs (info : Schema.level_info) =
+    if wide then info.Schema.wide_attrs else [ info.Schema.narrow_attr ]
+  in
+  let wrap_level info parent_rows child_builder =
+    List.map
+      (fun row ->
+        let attrs = level_attrs info in
+        let fields = List.map (fun a -> (a, V.field row a)) attrs in
+        V.Tuple (fields @ [ (info.Schema.nested_attr, V.Bag (child_builder row)) ]))
+      parent_rows
+  in
+  if level = 0 then
+    V.Bag (List.map (project leaf_attrs) (V.bag_items db.lineitem))
+  else begin
+    (* build from the bottom: orders with their items *)
+    let build_orders rows =
+      wrap_level Schema.levels.(0) rows (fun o ->
+          List.map (project leaf_attrs) (items_of (V.field o "okey")))
+    in
+    if level = 1 then V.Bag (build_orders (V.bag_items db.orders))
+    else begin
+      let orders_of = index_by "ckey" db.orders in
+      let build_customers rows =
+        wrap_level Schema.levels.(1) rows (fun c ->
+            build_orders (orders_of (V.field c "ckey")))
+      in
+      if level = 2 then V.Bag (build_customers (V.bag_items db.customer))
+      else begin
+        let custs_of = index_by "nkey" db.customer in
+        let build_nations rows =
+          wrap_level Schema.levels.(2) rows (fun n ->
+              build_customers (custs_of (V.field n "nkey")))
+        in
+        if level = 3 then V.Bag (build_nations (V.bag_items db.nation))
+        else begin
+          let nations_of = index_by "rkey" db.nation in
+          let build_regions rows =
+            wrap_level Schema.levels.(3) rows (fun r ->
+                build_nations (nations_of (V.field r "rkey")))
+          in
+          V.Bag (build_regions (V.bag_items db.region))
+        end
+      end
+    end
+  end

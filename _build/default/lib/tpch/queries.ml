@@ -1,0 +1,205 @@
+(** The TPC-H NRC query benchmark of Section 6: flat-to-nested,
+    nested-to-nested, and nested-to-flat query families, each parameterized
+    by nesting level (0-4) and by the narrow/wide variant.
+
+    - Flat-to-nested queries iteratively group the relational inputs
+      (Lineitem under Orders under Customer under Nation under Region),
+      keeping (pkey, lqty) at the leaf; the narrow variant projects a single
+      attribute per level, the wide variant keeps everything.
+    - Nested-to-nested queries take the materialized flat-to-nested result
+      (dataset ["COP"]) and join Part at the lowest level followed by
+      [sumBy^{qty*price}_{pname}], as in Example 1.
+    - Nested-to-flat queries do the same join/aggregation but sum at the top
+      level keyed by top-level attributes, returning a flat collection. *)
+
+module E = Nrc.Expr
+module T = Nrc.Types
+open Nrc.Builder
+
+let nested_name = "COP"
+
+let leaf_attrs ~wide =
+  if wide then Schema.leaf_attrs_wide else Schema.leaf_attrs_narrow
+
+let level_attrs ~wide (info : Schema.level_info) =
+  if wide then info.Schema.wide_attrs else [ info.Schema.narrow_attr ]
+
+let record_of var attrs = record (List.map (fun a -> (a, var #. a)) attrs)
+
+(* ------------------------------------------------------------------ *)
+(* Types of the materialized nested inputs *)
+
+let rec nested_input_ty ?(wide = false) ~level () : T.t =
+  let leaf_item_ty =
+    T.tuple
+      (List.map
+         (fun a -> (a, T.field (T.element Schema.lineitem_ty) a))
+         (leaf_attrs ~wide))
+  in
+  if level = 0 then T.bag leaf_item_ty
+  else begin
+    let info = Schema.levels.(pred level) in
+    let entity_ty =
+      List.assoc info.Schema.entity Schema.flat_inputs_ty
+    in
+    let fields =
+      List.map
+        (fun a -> (a, T.field (T.element entity_ty) a))
+        (level_attrs ~wide info)
+    in
+    T.bag
+      (T.tuple
+         (fields
+         @ [ (info.Schema.nested_attr, nested_input_ty ~wide ~level:(pred level) ()) ]))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Flat-to-nested *)
+
+let flat_to_nested ?(wide = false) ~level () : E.t =
+  let leaf parent =
+    for_ "l" (input "Lineitem") (fun l ->
+        let body = sng (record_of l (leaf_attrs ~wide)) in
+        match parent with
+        | None -> body
+        | Some (pvar, pk) -> where (l #. pk == pvar #. pk) body)
+  in
+  let rec build lvl parent =
+    if lvl = 0 then leaf parent
+    else begin
+      let info = Schema.levels.(pred lvl) in
+      let x = Printf.sprintf "x%d" lvl in
+      for_ x (input info.Schema.entity) (fun xv ->
+          let fields =
+            List.map (fun a -> (a, xv #. a)) (level_attrs ~wide info)
+          in
+          let body =
+            sng
+              (record
+                 (fields
+                 @ [
+                     ( info.Schema.nested_attr,
+                       build (pred lvl) (Some (xv, info.Schema.pk)) );
+                   ]))
+          in
+          match parent with
+          | None -> body
+          | Some (pvar, pk) -> where (xv #. pk == pvar #. pk) body)
+    end
+  in
+  build level None
+
+(* ------------------------------------------------------------------ *)
+(* Nested-to-nested *)
+
+(* the leaf aggregation of Example 1: join Part, sum qty*price per pname *)
+let leaf_aggregate src =
+  sum_by ~keys:[ "pname" ] ~values:[ "total" ]
+    (for_ "op" src (fun op ->
+         for_ "p" (input "Part") (fun p ->
+             where
+               (op #. "pkey" == p #. "pkey")
+               (sng
+                  (record
+                     [
+                       ("pname", p #. "pname");
+                       ("total", op #. "lqty" * p #. "pprice");
+                     ])))))
+
+let nested_to_nested ?(wide = false) ~level () : E.t =
+  if level = 0 then leaf_aggregate (input nested_name)
+  else begin
+    let rec rebuild lvl src =
+      let info = Schema.levels.(pred lvl) in
+      let x = Printf.sprintf "y%d" lvl in
+      for_ x src (fun xv ->
+          let fields =
+            List.map (fun a -> (a, xv #. a)) (level_attrs ~wide info)
+          in
+          let child =
+            if lvl = 1 then leaf_aggregate (xv #. info.Schema.nested_attr)
+            else rebuild (pred lvl) (xv #. info.Schema.nested_attr)
+          in
+          sng (record (fields @ [ (info.Schema.nested_attr, child) ])))
+    in
+    rebuild level (input nested_name)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Nested-to-flat *)
+
+let nested_to_flat ?(wide = false) ~level () : E.t =
+  if level = 0 then leaf_aggregate (input nested_name)
+  else begin
+    let top = Schema.levels.(pred level) in
+    let keys = level_attrs ~wide top in
+    let rec navigate lvl src (topvar : E.t) =
+      if lvl = 0 then
+        for_ "op" src (fun op ->
+            for_ "p" (input "Part") (fun p ->
+                where
+                  (op #. "pkey" == p #. "pkey")
+                  (sng
+                     (record
+                        (List.map (fun a -> (a, topvar #. a)) keys
+                        @ [ ("total", op #. "lqty" * p #. "pprice") ])))))
+      else begin
+        let info = Schema.levels.(pred lvl) in
+        let x = Printf.sprintf "z%d" lvl in
+        for_ x src (fun xv ->
+            let topvar = if lvl = level then xv else topvar in
+            navigate (pred lvl) (xv #. info.Schema.nested_attr) topvar)
+      end
+    in
+    sum_by ~keys ~values:[ "total" ]
+      (navigate level (input nested_name) (v "unused"))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Program assembly *)
+
+type family = Flat_to_nested | Nested_to_nested | Nested_to_flat
+
+let family_name = function
+  | Flat_to_nested -> "flat-to-nested"
+  | Nested_to_nested -> "nested-to-nested"
+  | Nested_to_flat -> "nested-to-flat"
+
+(** The benchmark program for one (family, level, variant) cell, together
+    with the inputs it needs. Flat-to-nested reads the relational inputs;
+    the nested families read the materialized nested input [COP] and
+    [Part]. *)
+let program ?(wide = false) ~family ~level () : Nrc.Program.t =
+  match family with
+  | Flat_to_nested ->
+    Nrc.Program.of_expr ~inputs:Schema.flat_inputs_ty ~name:"Q"
+      (flat_to_nested ~wide ~level ())
+  | Nested_to_nested ->
+    Nrc.Program.of_expr
+      ~inputs:
+        [
+          (nested_name, nested_input_ty ~wide ~level ());
+          ("Part", Schema.part_ty);
+        ]
+      ~name:"Q"
+      (nested_to_nested ~wide ~level ())
+  | Nested_to_flat ->
+    Nrc.Program.of_expr
+      ~inputs:
+        [
+          (nested_name, nested_input_ty ~wide ~level ());
+          ("Part", Schema.part_ty);
+        ]
+      ~name:"Q"
+      (nested_to_flat ~wide ~level ())
+
+(** Input values for one benchmark cell. *)
+let input_values ?(wide = false) ~family ~level (db : Generator.db) :
+    (string * Nrc.Value.t) list =
+  match family with
+  | Flat_to_nested -> Generator.flat_inputs db
+  | Nested_to_nested | Nested_to_flat ->
+    [
+      (nested_name, Generator.nested_input ~wide ~level db);
+      ("Part", db.Generator.part);
+    ]

@@ -1,0 +1,51 @@
+(** Zipf-distributed key sampling, mirroring the skewed TPC-H generator [43]
+    used in Section 6: skew factor 0 draws keys uniformly; higher factors
+    concentrate mass on few heavy keys (factor 4 is the paper's extreme).
+
+    Deterministic: driven by a local linear congruential generator so the
+    benchmarks are reproducible. *)
+
+type t = {
+  cdf : float array; (* cumulative probabilities over 1..n *)
+  n : int;
+  mutable state : int64;
+}
+
+let lcg_next st =
+  (* Numerical Recipes LCG; 48-bit state *)
+  st.state <- Int64.logand (Int64.add (Int64.mul st.state 6364136223846793005L) 1442695040888963407L) Int64.max_int;
+  Int64.to_float (Int64.rem st.state 1_000_000_007L) /. 1_000_000_007.
+
+let create ~n ~skew ~seed =
+  let s = float_of_int skew in
+  let weights =
+    Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s)
+  in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  { cdf; n; state = Int64.of_int (seed * 2 + 1) }
+
+(** Draw a key in [0, n). With skew 0 the distribution is uniform; with
+    higher skew, key 0 dominates. Keys are scrambled so that heavy keys are
+    not clustered at the low end of the domain. *)
+let draw t =
+  let u = lcg_next t in
+  (* binary search in the cdf *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  (* multiplicative scramble to spread the heavy ranks over the domain *)
+  !lo * 2654435761 mod t.n
+
+(** Uniform integer in [0, bound). *)
+let uniform t bound =
+  let u = lcg_next t in
+  min (bound - 1) (int_of_float (u *. float_of_int bound))

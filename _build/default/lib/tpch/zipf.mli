@@ -1,0 +1,15 @@
+(** Zipf-distributed key sampling, mirroring the skewed TPC-H generator
+    [43] used in Section 6: skew factor 0 is uniform; higher factors
+    concentrate mass on few heavy keys (factor 4 is the paper's extreme).
+    Deterministic (local LCG) so the benchmarks are reproducible. *)
+
+type t
+
+val create : n:int -> skew:int -> seed:int -> t
+(** A sampler over the key domain [0, n) with Zipf exponent [skew]. *)
+
+val draw : t -> int
+(** Draw a key; heavy ranks are scrambled across the domain. *)
+
+val uniform : t -> int -> int
+(** Uniform integer in [0, bound), advancing the same stream. *)

@@ -1,0 +1,1 @@
+test/test_biomed.ml: Alcotest Biomed Exec Fixtures Lazy List Nrc Option Trance

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Fixtures Hashtbl List Nrc Plan Printf String Trance

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Exec Fixtures List Nrc Option Plan Tpch Trance

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Exec Fixtures Hashtbl List Nrc Option Plan Printf QCheck QCheck_alcotest String Trance

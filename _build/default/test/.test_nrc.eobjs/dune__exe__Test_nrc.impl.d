@@ -1,0 +1,1 @@
+test/test_nrc.ml: Alcotest Fixtures List Nrc Printf QCheck QCheck_alcotest String

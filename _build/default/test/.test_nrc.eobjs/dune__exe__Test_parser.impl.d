@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Fixtures List Nrc Printf QCheck QCheck_alcotest Qgen String Trance

@@ -1,0 +1,1 @@
+test/test_random.ml: Alcotest Exec List Nrc Plan QCheck QCheck_alcotest Qgen Trance

@@ -1,0 +1,1 @@
+test/test_shred.ml: Alcotest Fixtures List Nrc QCheck QCheck_alcotest String Trance

@@ -1,0 +1,1 @@
+test/test_tpch.ml: Alcotest Exec Fixtures Hashtbl List Nrc Option Printf Tpch Trance

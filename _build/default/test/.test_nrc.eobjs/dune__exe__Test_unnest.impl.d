@@ -1,0 +1,1 @@
+test/test_unnest.ml: Alcotest Fixtures Hashtbl List Nrc Plan Printf QCheck QCheck_alcotest Stdlib Trance

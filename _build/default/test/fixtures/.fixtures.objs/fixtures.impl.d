@@ -1,0 +1,1 @@
+test/fixtures/fixtures.ml: Fmt Nrc Plan Trance

@@ -1,0 +1,1 @@
+test/fixtures/qgen.ml: Fmt Nrc Printf QCheck

@@ -1,0 +1,378 @@
+(** Random NRC query and data generation for property-based testing.
+
+    Queries are drawn from a grammar of the supported fragment (selections,
+    equi-joins, navigation, nested reconstruction, sumBy/groupBy at the root
+    and inside nested attributes, dedup, unions of compatible branches) over
+    a fixed pair of flat relations and one nested relation, with random
+    constants, projections, key choices and data. Every generated query is
+    checked across all evaluation routes against the reference interpreter
+    (see test_random.ml). *)
+
+module E = Nrc.Expr
+module T = Nrc.Types
+module V = Nrc.Value
+module G = QCheck.Gen
+
+(* ------------------------------------------------------------------ *)
+(* Schemas *)
+
+let r_ty =
+  T.bag
+    (T.tuple
+       [ ("a", T.int_); ("b", T.int_); ("s", T.string_); ("v", T.real) ])
+
+let s_ty = T.bag (T.tuple [ ("a", T.int_); ("w", T.real) ])
+
+let n_ty =
+  T.bag
+    (T.tuple
+       [
+         ("k", T.int_);
+         ("name", T.string_);
+         ("items", T.bag (T.tuple [ ("a", T.int_); ("q", T.real) ]));
+       ])
+
+let inputs_ty = [ ("R", r_ty); ("S", s_ty); ("N", n_ty) ]
+
+(* ------------------------------------------------------------------ *)
+(* Data *)
+
+let key_domain = 6 (* small domain: joins hit, groups collide *)
+
+let gen_r_row =
+  G.map3
+    (fun a b (s, v) ->
+      V.Tuple
+        [
+          ("a", V.Int a); ("b", V.Int b);
+          ("s", V.Str (Printf.sprintf "s%d" s));
+          ("v", V.Real (float_of_int v /. 4.));
+        ])
+    (G.int_bound (key_domain - 1))
+    (G.int_bound (key_domain - 1))
+    (G.pair (G.int_bound 3) (G.int_bound 40))
+
+let gen_s_row =
+  G.map2
+    (fun a w ->
+      V.Tuple [ ("a", V.Int a); ("w", V.Real (float_of_int w /. 2.)) ])
+    (G.int_bound (key_domain - 1))
+    (G.int_bound 30)
+
+let gen_item =
+  G.map2
+    (fun a q -> V.Tuple [ ("a", V.Int a); ("q", V.Real (float_of_int q)) ])
+    (G.int_bound (key_domain - 1))
+    (G.int_bound 9)
+
+let gen_n_row =
+  G.map3
+    (fun k name items ->
+      V.Tuple
+        [
+          ("k", V.Int k);
+          ("name", V.Str (Printf.sprintf "n%d" name));
+          ("items", V.Bag items);
+        ])
+    (G.int_bound (key_domain - 1))
+    (G.int_bound 3)
+    (G.list_size (G.int_bound 4) gen_item)
+
+let gen_inputs : (string * V.t) list G.t =
+  G.map3
+    (fun rs ss ns ->
+      [ ("R", V.Bag rs); ("S", V.Bag ss); ("N", V.Bag ns) ])
+    (G.list_size (G.int_bound 12) gen_r_row)
+    (G.list_size (G.int_bound 12) gen_s_row)
+    (G.list_size (G.int_bound 8) gen_n_row)
+
+(* ------------------------------------------------------------------ *)
+(* Query generation *)
+
+let fresh =
+  let c = ref 0 in
+  fun hint ->
+    incr c;
+    Printf.sprintf "%s%d" hint !c
+
+(* a random comparison on an int attribute of [x] *)
+let gen_int_pred (x : E.t) attr =
+  G.map2
+    (fun op c ->
+      let cmp = match op with 0 -> E.Lt | 1 -> E.Le | 2 -> E.Gt | _ -> E.Ne in
+      E.Cmp (cmp, E.Proj (x, attr), E.int_ c))
+    (G.int_bound 3)
+    (G.int_bound (key_domain - 1))
+
+(* flat query over R (rows: a, b, s, v) possibly joined with S *)
+let gen_flat_query : E.t G.t =
+  let open G in
+  let select =
+    let x = fresh "x" in
+    gen_int_pred (E.Var x) "a" >|= fun pred ->
+    E.ForUnion
+      ( x,
+        E.Var "R",
+        E.If
+          ( pred,
+            E.Singleton
+              (E.Record
+                 [
+                   ("a", E.Proj (E.Var x, "a"));
+                   ("s", E.Proj (E.Var x, "s"));
+                   ("v", E.Proj (E.Var x, "v"));
+                 ]),
+            None ) )
+  in
+  let join =
+    let x = fresh "x" and y = fresh "y" in
+    gen_int_pred (E.Var x) "b" >|= fun pred ->
+    E.ForUnion
+      ( x,
+        E.Var "R",
+        E.ForUnion
+          ( y,
+            E.Var "S",
+            E.If
+              ( E.Logic
+                  (E.And, E.Cmp (E.Eq, E.Proj (E.Var x, "a"), E.Proj (E.Var y, "a")), pred),
+                E.Singleton
+                  (E.Record
+                     [
+                       ("a", E.Proj (E.Var x, "a"));
+                       ("s", E.Proj (E.Var x, "s"));
+                       ("v", E.Prim (E.Mul, E.Proj (E.Var x, "v"), E.Proj (E.Var y, "w")));
+                     ]),
+                None ) ) )
+  in
+  let navigate =
+    let n = fresh "n" and it = fresh "it" in
+    gen_int_pred (E.Var it) "a" >|= fun pred ->
+    E.ForUnion
+      ( n,
+        E.Var "N",
+        E.ForUnion
+          ( it,
+            E.Proj (E.Var n, "items"),
+            E.If
+              ( pred,
+                E.Singleton
+                  (E.Record
+                     [
+                       ("a", E.Proj (E.Var n, "k"));
+                       ("s", E.Proj (E.Var n, "name"));
+                       ("v", E.Proj (E.Var it, "q"));
+                     ]),
+                None ) ) )
+  in
+  oneof [ select; join; navigate ]
+
+(* all flat queries above produce rows (a:int, s:string, v:real) *)
+let flat_row_ty = T.tuple [ ("a", T.int_); ("s", T.string_); ("v", T.real) ]
+
+let gen_root_query : E.t G.t =
+  let open G in
+  let base = gen_flat_query in
+  let unioned = map2 (fun a b -> E.Union (a, b)) gen_flat_query gen_flat_query in
+  let summed =
+    map2
+      (fun q keys ->
+        E.SumBy
+          { input = q;
+            keys = (if keys then [ "a"; "s" ] else [ "s" ]);
+            values = [ "v" ] })
+      (oneof [ base; unioned ])
+      bool
+  in
+  let grouped =
+    map (fun q -> E.GroupBy { input = q; keys = [ "a" ]; group_attr = "grp" }) base
+  in
+  let deduped =
+    map
+      (fun q ->
+        let x = fresh "d" in
+        E.Dedup
+          (E.ForUnion
+             ( x,
+               q,
+               E.Singleton
+                 (E.Record
+                    [ ("a", E.Proj (E.Var x, "a")); ("s", E.Proj (E.Var x, "s")) ])
+             )))
+      base
+  in
+  (* nested outputs: group S under R, or rebuild N with a transformed inner
+     bag (filter / aggregate) *)
+  let nest_join =
+    let x = fresh "x" and y = fresh "y" in
+    gen_int_pred (E.Var y) "a" >|= fun pred ->
+    E.ForUnion
+      ( x,
+        E.Var "R",
+        E.Singleton
+          (E.Record
+             [
+               ("a", E.Proj (E.Var x, "a"));
+               ( "kids",
+                 E.ForUnion
+                   ( y,
+                     E.Var "S",
+                     E.If
+                       ( E.Logic
+                           ( E.And,
+                             E.Cmp (E.Eq, E.Proj (E.Var y, "a"), E.Proj (E.Var x, "a")),
+                             pred ),
+                         E.Singleton (E.Record [ ("w", E.Proj (E.Var y, "w")) ]),
+                         None ) ) );
+             ]) )
+  in
+  let rebuild_filter =
+    let n = fresh "n" and it = fresh "i" in
+    gen_int_pred (E.Var it) "a" >|= fun pred ->
+    E.ForUnion
+      ( n,
+        E.Var "N",
+        E.Singleton
+          (E.Record
+             [
+               ("name", E.Proj (E.Var n, "name"));
+               ( "items",
+                 E.ForUnion
+                   ( it,
+                     E.Proj (E.Var n, "items"),
+                     E.If
+                       ( pred,
+                         E.Singleton
+                           (E.Record
+                              [
+                                ("a", E.Proj (E.Var it, "a"));
+                                ("q", E.Proj (E.Var it, "q"));
+                              ]),
+                         None ) ) );
+             ]) )
+  in
+  let rebuild_aggregate =
+    let n = fresh "n" and it = fresh "i" and y = fresh "y" in
+    return
+      (E.ForUnion
+         ( n,
+           E.Var "N",
+           E.Singleton
+             (E.Record
+                [
+                  ("k", E.Proj (E.Var n, "k"));
+                  ( "items",
+                    E.SumBy
+                      { keys = [ "a" ];
+                        values = [ "t" ];
+                        input =
+                          E.ForUnion
+                            ( it,
+                              E.Proj (E.Var n, "items"),
+                              E.ForUnion
+                                ( y,
+                                  E.Var "S",
+                                  E.If
+                                    ( E.Cmp
+                                        ( E.Eq,
+                                          E.Proj (E.Var it, "a"),
+                                          E.Proj (E.Var y, "a") ),
+                                      E.Singleton
+                                        (E.Record
+                                           [
+                                             ("a", E.Proj (E.Var it, "a"));
+                                             ( "t",
+                                               E.Prim
+                                                 ( E.Mul,
+                                                   E.Proj (E.Var it, "q"),
+                                                   E.Proj (E.Var y, "w") ) );
+                                           ]),
+                                      None ) ) ) } );
+                ]) ))
+  in
+  (* two bag-valued attributes at one level *)
+  let nest_two =
+    let n = fresh "n" and i1 = fresh "i" and i2 = fresh "j" in
+    gen_int_pred (E.Var i2) "a" >|= fun pred ->
+    E.ForUnion
+      ( n,
+        E.Var "N",
+        E.Singleton
+          (E.Record
+             [
+               ("k", E.Proj (E.Var n, "k"));
+               ( "all_items",
+                 E.ForUnion
+                   ( i1,
+                     E.Proj (E.Var n, "items"),
+                     E.Singleton (E.Record [ ("q", E.Proj (E.Var i1, "q")) ]) ) );
+               ( "some_items",
+                 E.ForUnion
+                   ( i2,
+                     E.Proj (E.Var n, "items"),
+                     E.If
+                       ( pred,
+                         E.Singleton (E.Record [ ("a", E.Proj (E.Var i2, "a")) ]),
+                         None ) ) );
+             ]) )
+  in
+  (* union of two nested-producing branches *)
+  let nest_union =
+    map2
+      (fun a b -> E.Union (a, b))
+      (let x = fresh "x" and y = fresh "y" in
+       gen_int_pred (E.Var y) "a" >|= fun pred ->
+       E.ForUnion
+         ( x,
+           E.Var "R",
+           E.Singleton
+             (E.Record
+                [
+                  ("a", E.Proj (E.Var x, "a"));
+                  ( "kids",
+                    E.ForUnion
+                      ( y,
+                        E.Var "S",
+                        E.If
+                          ( E.Logic
+                              ( E.And,
+                                E.Cmp
+                                  ( E.Eq,
+                                    E.Proj (E.Var y, "a"),
+                                    E.Proj (E.Var x, "a") ),
+                                pred ),
+                            E.Singleton
+                              (E.Record [ ("w", E.Proj (E.Var y, "w")) ]),
+                            None ) ) );
+                ]) ))
+      (let y = fresh "y" in
+       return
+         (E.ForUnion
+            ( y,
+              E.Var "S",
+              E.Singleton
+                (E.Record
+                   [
+                     ("a", E.Proj (E.Var y, "a"));
+                     ( "kids",
+                       E.Singleton (E.Record [ ("w", E.Proj (E.Var y, "w")) ])
+                     );
+                   ]) )))
+  in
+  frequency
+    [
+      (3, base); (1, unioned); (2, summed); (1, grouped); (1, deduped);
+      (2, nest_join); (2, rebuild_filter); (2, rebuild_aggregate);
+      (2, nest_two); (1, nest_union);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Arbitrary instance: a query together with input data *)
+
+let print_case (q, inputs) =
+  Fmt.str "query:@.%a@.inputs:@.%a@." E.pp q
+    (Fmt.list ~sep:Fmt.cut (fun ppf (n, v) -> Fmt.pf ppf "%s = %a" n V.pp v))
+    inputs
+
+let arbitrary_case : (E.t * (string * V.t) list) QCheck.arbitrary =
+  QCheck.make ~print:print_case (G.pair gen_root_query gen_inputs)

@@ -1,0 +1,259 @@
+(** Tests for the NRC surface-syntax lexer and parser: golden parses,
+    precedence, error reporting, and the roundtrip property that parsing a
+    textual rendering of the fixture queries evaluates identically. *)
+
+module E = Nrc.Expr
+module V = Nrc.Value
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse = Nrc.Parser.expr_of_string
+
+let eval_str ?(env = Fixtures.inputs_val) src =
+  Nrc.Eval.eval (Nrc.Eval.env_of_list env) (parse src)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_lexer () =
+  let toks s = List.map fst (Nrc.Lexer.tokenize s) in
+  check "keywords vs identifiers" true
+    (toks "for fortune in input"
+    = Nrc.Lexer.[ FOR; IDENT "fortune"; IN; IDENT "input"; EOF ]);
+  check "operators" true
+    (toks "== != <= >= := ++ && ||"
+    = Nrc.Lexer.[ EQ; NE; LE; GE; ASSIGN; PLUSPLUS; AMPAMP; BARBAR; EOF ]);
+  check "numbers" true
+    (toks "42 3.25 @100" = Nrc.Lexer.[ INT 42; REAL 3.25; DATE 100; EOF ]);
+  check "d-identifiers are plain identifiers" true
+    (toks "d100 data" = Nrc.Lexer.[ IDENT "d100"; IDENT "data"; EOF ]);
+  check "strings with escapes" true
+    (toks {|"a\"b"|} = Nrc.Lexer.[ STRING {|a"b|}; EOF ]);
+  check "comments" true (toks "1 -- two\n3" = Nrc.Lexer.[ INT 1; INT 3; EOF ]);
+  (match Nrc.Lexer.tokenize "a # b" with
+  | _ -> Alcotest.fail "expected Lex_error"
+  | exception Nrc.Lexer.Lex_error { pos; _ } -> check_int "error position" 2 pos)
+
+(* ------------------------------------------------------------------ *)
+(* Expression parsing *)
+
+let test_precedence () =
+  check "mul binds tighter than add" true
+    (V.equal (eval_str "1 + 2 * 3") (V.Int 7));
+  check "parens override" true (V.equal (eval_str "(1 + 2) * 3") (V.Int 9));
+  check "comparison over arithmetic" true
+    (V.equal (eval_str "1 + 1 == 2") (V.Bool true));
+  check "and over or" true
+    (V.equal (eval_str "true || false && false") (V.Bool true));
+  check "not" true (V.equal (eval_str "not false") (V.Bool true));
+  check "projection binds tightest" true
+    (V.equal
+       (Nrc.Eval.eval
+          (Nrc.Eval.env_of_list
+             [ ("x", V.Tuple [ ("a", V.Int 2) ]) ])
+          (parse "x.a * 3"))
+       (V.Int 6))
+
+let test_collections () =
+  check "singleton" true (V.bag_equal (eval_str "sng(1)") (V.Bag [ V.Int 1 ]));
+  check "record singleton" true
+    (V.bag_equal
+       (eval_str "sng(a := 1, b := \"x\")")
+       (V.Bag [ V.Tuple [ ("a", V.Int 1); ("b", V.Str "x") ] ]));
+  check "union" true
+    (V.bag_equal (eval_str "sng(1) ++ sng(2)") (V.Bag [ V.Int 1; V.Int 2 ]));
+  check "empty with type" true
+    (V.bag_equal (eval_str "empty(tuple(a: int))") (V.Bag []));
+  check "get" true (V.equal (eval_str "get(sng(7))") (V.Int 7));
+  check "dedup" true
+    (V.bag_equal (eval_str "dedup(sng(1) ++ sng(1))") (V.Bag [ V.Int 1 ]));
+  check "for/if" true
+    (V.bag_equal
+       (eval_str "for p in Part union if p.price > 15.0 then sng(p.pid)")
+       (V.Bag [ V.Int 2; V.Int 3; V.Int 4 ]));
+  check "let" true
+    (V.equal (eval_str "let x := 21 in x + x") (V.Int 42));
+  check "if-else" true
+    (V.equal (eval_str "if 1 == 2 then 10 else 20") (V.Int 20))
+
+let test_aggregates () =
+  let rows = "sng(k := 1, v := 10) ++ sng(k := 1, v := 20) ++ sng(k := 2, v := 5)" in
+  check "sumBy" true
+    (V.bag_equal
+       (eval_str (Printf.sprintf "sumBy(k; v)(%s)" rows))
+       (V.Bag
+          [
+            V.Tuple [ ("k", V.Int 1); ("v", V.Int 30) ];
+            V.Tuple [ ("k", V.Int 2); ("v", V.Int 5) ];
+          ]));
+  check_int "groupBy groups" 2
+    (List.length (V.bag_items (eval_str (Printf.sprintf "groupBy(k)(%s)" rows))));
+  (* custom group attribute *)
+  match V.bag_items (eval_str (Printf.sprintf "groupBy(k; members)(%s)" rows)) with
+  | g :: _ -> ignore (V.field g "members")
+  | [] -> Alcotest.fail "empty groupBy"
+
+(* the paper's Example 1, as text *)
+let example1_src =
+  {|
+  for cop in COP union
+    sng( cname := cop.cname,
+         corders := for co in cop.corders union
+           sng( odate := co.odate,
+                oparts := sumBy(pname; total)(
+                  for op in co.oparts union
+                  for p in Part union
+                  if op.pid == p.pid then
+                    sng( pname := p.pname, total := op.qty * p.price ))))
+  |}
+
+let test_example1_roundtrip () =
+  let parsed = parse example1_src in
+  (* identical type and semantics as the builder-constructed fixture *)
+  let ty_parsed =
+    Nrc.Typecheck.check_source
+      (Nrc.Typecheck.env_of_list Fixtures.inputs_ty)
+      parsed
+  in
+  let ty_fixture =
+    Nrc.Typecheck.check_source
+      (Nrc.Typecheck.env_of_list Fixtures.inputs_ty)
+      Fixtures.example1
+  in
+  check "same type as the builder query" true
+    (Nrc.Types.equal ty_parsed ty_fixture);
+  Fixtures.check_bag_equal "same semantics"
+    (Fixtures.eval_ref Fixtures.example1)
+    (Fixtures.eval_ref parsed);
+  (* and it goes through the whole shredded pipeline *)
+  let prog = Nrc.Program.of_expr ~inputs:Fixtures.inputs_ty ~name:"Q" parsed in
+  let _, _, actual =
+    Trance.Shred_pipeline.eval_shredded prog Fixtures.inputs_val
+  in
+  Fixtures.check_bag_equal "parsed query through shredding"
+    (Fixtures.eval_ref parsed) actual
+
+let test_programs () =
+  let src =
+    {|
+    Flat <- for cop in COP union
+            for co in cop.corders union
+            for op in co.oparts union
+              sng( pid := op.pid );
+    Result <- dedup(Flat);
+    |}
+  in
+  let prog = Nrc.Parser.program_of_string ~inputs:Fixtures.inputs_ty src in
+  check_int "two assignments" 2 (List.length prog.Nrc.Program.assignments);
+  Alcotest.(check string) "result name" "Result" (Nrc.Program.result_name prog);
+  let expected = Fixtures.eval_ref Fixtures.dedup_query in
+  Fixtures.check_bag_equal "program result" expected
+    (Nrc.Program.eval_result prog Fixtures.inputs_val)
+
+let test_parse_errors () =
+  let fails s =
+    match parse s with
+    | _ -> Alcotest.failf "expected parse error for %S" s
+    | exception Nrc.Parser.Parse_error _ -> ()
+  in
+  fails "for x in union y";
+  fails "sng(a := )";
+  fails "1 +";
+  fails "sumBy(k)(e)" (* missing value list *);
+  fails "(a := 1, 2)";
+  fails "if x then";
+  (* error positions point at the offending token *)
+  match parse "1 + + 2" with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception Nrc.Parser.Parse_error { pos; _ } ->
+    check_int "error position" 4 pos
+
+(* property: pretty-printed builder queries of a simple shape re-parse *)
+let test_pp_parse_roundtrip_flat () =
+  (* the flat corpus queries use only constructs whose printer output is
+     re-parseable modulo unicode; check semantics via textual forms *)
+  let textual =
+    [
+      "for p in Part union sng( pid := p.pid, price := p.price )";
+      "for p in Part union for q in Part union if p.pid == q.pid then sng( pid := p.pid )";
+      "sumBy(pname; price)(for p in Part union sng( pname := p.pname, price := p.price ))";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let e = parse src in
+      let plan_result = Fixtures.eval_plan e in
+      Fixtures.check_bag_equal src (Fixtures.eval_ref e) plan_result)
+    textual
+
+(* ------------------------------------------------------------------ *)
+(* to_source roundtrips *)
+
+let test_to_source_corpus () =
+  List.iter
+    (fun (name, q) ->
+      let src = Nrc.Parser.to_source q in
+      let q' = parse src in
+      Fixtures.check_bag_equal
+        (Printf.sprintf "%s: parse (to_source q) = q" name)
+        (Fixtures.eval_ref q) (Fixtures.eval_ref q'))
+    Fixtures.corpus
+
+let prop_to_source_roundtrip =
+  QCheck.Test.make ~name:"random query: parse (to_source q) = q" ~count:200
+    Qgen.arbitrary_case (fun (q, inputs) ->
+      let q' = parse (Nrc.Parser.to_source q) in
+      V.approx_bag_equal
+        (Nrc.Eval.eval (Nrc.Eval.env_of_list inputs) q)
+        (Nrc.Eval.eval (Nrc.Eval.env_of_list inputs) q'))
+
+let test_program_to_source () =
+  let prog =
+    Nrc.Program.make ~inputs:Fixtures.inputs_ty
+      [ ("A", Fixtures.dedup_query); ("B", Fixtures.nested_to_flat) ]
+  in
+  let src = Nrc.Parser.program_to_source prog in
+  let prog' = Nrc.Parser.program_of_string ~inputs:Fixtures.inputs_ty src in
+  Fixtures.check_bag_equal "program roundtrip"
+    (Nrc.Program.eval_result prog Fixtures.inputs_val)
+    (Nrc.Program.eval_result prog' Fixtures.inputs_val)
+
+let test_type_to_source () =
+  let t = Fixtures.cop_ty in
+  let src = Nrc.Parser.type_to_source t in
+  (* re-parse through empty() *)
+  let e = parse (Printf.sprintf "empty(%s)" (Nrc.Parser.type_to_source (Nrc.Types.element t))) in
+  (match e with
+  | Nrc.Expr.Empty t' ->
+    check "element type roundtrips" true (Nrc.Types.equal t' (Nrc.Types.element t))
+  | _ -> Alcotest.fail "expected Empty");
+  check "bag type renders" true (String.length src > 0)
+
+let () =
+  Alcotest.run "parser"
+    [
+      ("lexer", [ Alcotest.test_case "tokens" `Quick test_lexer ]);
+      ( "expressions",
+        [
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "collections" `Quick test_collections;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "example1 roundtrip" `Quick
+            test_example1_roundtrip;
+          Alcotest.test_case "programs" `Quick test_programs;
+          Alcotest.test_case "parsed queries compile" `Quick
+            test_pp_parse_roundtrip_flat;
+        ] );
+      ("errors", [ Alcotest.test_case "diagnostics" `Quick test_parse_errors ]);
+      ( "to_source",
+        [
+          Alcotest.test_case "corpus roundtrip" `Quick test_to_source_corpus;
+          QCheck_alcotest.to_alcotest prop_to_source_roundtrip;
+          Alcotest.test_case "program roundtrip" `Quick test_program_to_source;
+          Alcotest.test_case "type roundtrip" `Quick test_type_to_source;
+        ] );
+    ]

@@ -1,0 +1,262 @@
+(** Direct unit tests of the plan layer: scalar expressions (null
+    semantics, label operations), each operator of the plan language
+    (outer-join padding, outer-unnest, drop-unnest, presence and
+    placeholder semantics of the nest operators, dedup, union alignment),
+    and schema inference. These pin the operator semantics that both the
+    local interpreter and the distributed executor implement. *)
+
+module V = Nrc.Value
+module S = Plan.Sexpr
+module Op = Plan.Op
+module Row = Plan.Row
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let eval_op ?(env = []) op =
+  Plan.Local_eval.eval (Plan.Local_eval.env_of_list env) op
+
+let tup fields = V.Tuple fields
+
+(* ------------------------------------------------------------------ *)
+(* Scalar expressions *)
+
+let test_sexpr_nulls () =
+  let row = [ ("x", V.Null); ("y", V.Int 3) ] in
+  check "proj through null" true (V.is_null (S.eval row (S.path "x" [ "a" ])));
+  check "prim with null" true
+    (V.is_null (S.eval row (S.Prim (Nrc.Expr.Add, S.col "x", S.col "y"))));
+  check "cmp with null" true
+    (V.is_null (S.eval row (S.Cmp (Nrc.Expr.Eq, S.col "x", S.col "y"))));
+  check "pred: null is false" false
+    (S.eval_pred row (S.Cmp (Nrc.Expr.Eq, S.col "x", S.col "y")));
+  check "isnull" true
+    (V.equal (S.eval row (S.IsNull (S.col "x"))) (V.Bool true));
+  check "not null" true
+    (V.is_null (S.eval row (S.Not (S.IsNull (S.col "y")) |> fun e -> S.Logic (Nrc.Expr.And, e, S.col "x"))))
+
+let test_sexpr_labels () =
+  let row = [ ("k", V.Int 7); ("s", V.Str "x") ] in
+  let lbl = S.MkLabel { site = 3; args = [ S.col "k"; S.col "s" ] } in
+  let v = S.eval row lbl in
+  (match v with
+  | V.Label { site = 3; args = [ V.Int 7; V.Str "x" ] } -> ()
+  | _ -> Alcotest.failf "bad label %a" V.pp v);
+  let row2 = [ ("l", v) ] in
+  check "label arg" true (V.equal (S.eval row2 (S.LabelArg (S.col "l", 0))) (V.Int 7));
+  check "label arg out of range is null" true
+    (V.is_null (S.eval row2 (S.LabelArg (S.col "l", 5))));
+  check "site check" true
+    (V.equal (S.eval row2 (S.IsLabelSite (S.col "l", 3))) (V.Bool true));
+  check "site mismatch" true
+    (V.equal (S.eval row2 (S.IsLabelSite (S.col "l", 4))) (V.Bool false));
+  check "cols_used" true
+    (List.sort compare (S.cols_used lbl) = [ "k"; "s" ])
+
+(* ------------------------------------------------------------------ *)
+(* Operators *)
+
+let rbag name rows = (name, V.Bag rows)
+
+let test_outer_join () =
+  let left = [ tup [ ("k", V.Int 1) ]; tup [ ("k", V.Int 2) ] ] in
+  let right = [ tup [ ("k", V.Int 1); ("w", V.Int 10) ] ] in
+  let plan =
+    Op.Join
+      { left = Op.Scan { input = "L"; binder = "l" };
+        right = Op.Scan { input = "R"; binder = "r" };
+        lkey = [ S.path "l" [ "k" ] ];
+        rkey = [ S.path "r" [ "k" ] ];
+        kind = Op.LeftOuter }
+  in
+  let rows = eval_op ~env:[ rbag "L" left; rbag "R" right ] plan in
+  check_int "two rows" 2 (List.length rows);
+  let unmatched = List.find (fun r -> V.is_null (Row.get r "r")) rows in
+  check "left side kept" true
+    (V.equal (Row.get unmatched "l") (tup [ ("k", V.Int 2) ]));
+  (* null keys never match *)
+  let rows2 =
+    eval_op
+      ~env:[ rbag "L" [ V.Null ]; rbag "R" right ]
+      (Op.Join
+         { left = Op.Scan { input = "L"; binder = "l" };
+           right = Op.Scan { input = "R"; binder = "r" };
+           lkey = [ S.path "l" [ "k" ] ];
+           rkey = [ S.path "r" [ "k" ] ];
+           kind = Op.LeftOuter })
+  in
+  check "null key padded, not joined" true
+    (List.for_all (fun r -> V.is_null (Row.get r "r")) rows2)
+
+let test_unnest_variants () =
+  let data =
+    [ tup [ ("a", V.Int 1); ("items", V.Bag [ V.Int 10; V.Int 20 ]) ];
+      tup [ ("a", V.Int 2); ("items", V.Bag []) ] ]
+  in
+  let scan = Op.Scan { input = "N"; binder = "n" } in
+  let inner =
+    Op.Unnest { input = scan; path = [ "n"; "items" ]; binder = "i"; outer = false; drop = false }
+  in
+  let outer =
+    Op.Unnest { input = scan; path = [ "n"; "items" ]; binder = "i"; outer = true; drop = false }
+  in
+  let dropping =
+    Op.Unnest { input = scan; path = [ "n"; "items" ]; binder = "i"; outer = true; drop = true }
+  in
+  check_int "inner drops empty" 2 (List.length (eval_op ~env:[ rbag "N" data ] inner));
+  let orows = eval_op ~env:[ rbag "N" data ] outer in
+  check_int "outer keeps empty" 3 (List.length orows);
+  check_int "one null binder" 1
+    (List.length (List.filter (fun r -> V.is_null (Row.get r "i")) orows));
+  (* drop removes the consumed attribute from the source column *)
+  let drows = eval_op ~env:[ rbag "N" data ] dropping in
+  List.iter
+    (fun r ->
+      match Row.get r "n" with
+      | V.Tuple fields -> check "items dropped" false (List.mem_assoc "items" fields)
+      | _ -> Alcotest.fail "not a tuple")
+    drows
+
+let test_nest_bag_presence () =
+  let rows =
+    [ tup [ ("g", V.Int 1); ("x", V.Int 10) ];
+      tup [ ("g", V.Int 1); ("x", V.Null) ];
+      tup [ ("g", V.Int 2); ("x", V.Null) ] ]
+  in
+  let plan =
+    Op.NestBag
+      { input = Op.Scan { input = "T"; binder = "t" };
+        keys = [ ("g", S.path "t" [ "g" ]) ];
+        agg_keys = [];
+        item = S.path "t" [ "x" ];
+        presence = S.Not (S.IsNull (S.path "t" [ "x" ]));
+        out = "xs" }
+  in
+  let out = eval_op ~env:[ rbag "T" rows ] plan in
+  check_int "both groups appear" 2 (List.length out);
+  let g2 = List.find (fun r -> V.equal (Row.get r "g") (V.Int 2)) out in
+  check "absent rows give empty bag" true (V.equal (Row.get g2 "xs") (V.Bag []));
+  let g1 = List.find (fun r -> V.equal (Row.get r "g") (V.Int 1)) out in
+  check "present rows contribute" true
+    (V.bag_equal (Row.get g1 "xs") (V.Bag [ V.Int 10 ]))
+
+let test_nest_sum_placeholders () =
+  (* keys + agg_keys: a G-group with no present rows emits one placeholder
+     row with Null agg keys and zero sums *)
+  let rows =
+    [ tup [ ("g", V.Int 1); ("k", V.Str "a"); ("v", V.Int 5) ];
+      tup [ ("g", V.Int 1); ("k", V.Str "a"); ("v", V.Int 7) ];
+      tup [ ("g", V.Int 2); ("k", V.Null); ("v", V.Null) ] ]
+  in
+  let plan presence =
+    Op.NestSum
+      { input = Op.Scan { input = "T"; binder = "t" };
+        keys = [ ("g", S.path "t" [ "g" ]) ];
+        agg_keys = [ ("k", S.path "t" [ "k" ]) ];
+        aggs = [ ("total", S.path "t" [ "v" ]) ];
+        presence }
+  in
+  let out =
+    eval_op ~env:[ rbag "T" rows ]
+      (plan (S.Not (S.IsNull (S.path "t" [ "k" ]))))
+  in
+  check_int "two output rows" 2 (List.length out);
+  let g1 = List.find (fun r -> V.equal (Row.get r "g") (V.Int 1)) out in
+  check "sum over present" true (V.equal (Row.get g1 "total") (V.Int 12));
+  let g2 = List.find (fun r -> V.equal (Row.get r "g") (V.Int 2)) out in
+  check "placeholder agg key is null" true (V.is_null (Row.get g2 "k"));
+  check "placeholder sum is zero" true (V.equal (Row.get g2 "total") (V.Int 0));
+  (* with keys = [] there are no placeholders *)
+  let global =
+    Op.NestSum
+      { input = Op.Scan { input = "T"; binder = "t" };
+        keys = [];
+        agg_keys = [ ("k", S.path "t" [ "k" ]) ];
+        aggs = [ ("total", S.path "t" [ "v" ]) ];
+        presence = S.Not (S.IsNull (S.path "t" [ "k" ])) }
+  in
+  check_int "global agg skips absent group" 1
+    (List.length (eval_op ~env:[ rbag "T" rows ] global))
+
+let test_union_alignment () =
+  let plan =
+    Op.UnionAll
+      ( Op.Project
+          ([ ("a", S.Const (V.Int 1)); ("b", S.Const (V.Int 2)) ], Op.UnitRow),
+        Op.Project
+          ([ ("b", S.Const (V.Int 9)); ("a", S.Const (V.Int 8)) ], Op.UnitRow) )
+  in
+  let rows = eval_op plan in
+  check_int "two rows" 2 (List.length rows);
+  List.iter
+    (fun r -> check "columns ordered as the left side" true (Row.columns r = [ "a"; "b" ]))
+    rows
+
+let test_dedup_rows () =
+  let rows = [ tup [ ("a", V.Int 1) ]; tup [ ("a", V.Int 1) ]; tup [ ("a", V.Int 2) ] ] in
+  let plan = Op.Dedup (Op.Scan { input = "T"; binder = "t" }) in
+  check_int "dedup" 2 (List.length (eval_op ~env:[ rbag "T" rows ] plan))
+
+let test_schema_inference () =
+  let plan =
+    Op.NestSum
+      { input =
+          Op.AddIndex
+            { input = Op.Scan { input = "R"; binder = "r" }; col = "id%0" };
+        keys = [ ("g", S.col "r") ];
+        agg_keys = [ ("k", S.col "id%0") ];
+        aggs = [ ("t", S.col "r") ];
+        presence = S.Const (V.Bool true) }
+  in
+  check "columns" true (Op.columns plan = [ "g"; "k"; "t" ]);
+  check "inputs" true (Op.inputs plan = [ "R" ]);
+  check_int "operator count" 3 (Op.count (fun _ -> true) plan)
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer unit cases *)
+
+let test_select_fusion () =
+  let p = S.Cmp (Nrc.Expr.Eq, S.col "a", S.Const (V.Int 1)) in
+  let q = S.Cmp (Nrc.Expr.Eq, S.col "b", S.Const (V.Int 2)) in
+  let plan = Op.Select (p, Op.Select (q, Op.Scan { input = "R"; binder = "a" })) in
+  let opt = Plan.Optimize.push_select plan in
+  check_int "selects fused" 1
+    (Op.count (function Op.Select _ -> true | _ -> false) opt)
+
+let test_prune_keeps_whole_uses () =
+  (* a column used whole must not be narrowed *)
+  let plan =
+    Op.Project ([ ("out", S.col "r") ], Op.Scan { input = "R"; binder = "r" })
+  in
+  let opt = Plan.Optimize.prune_columns plan in
+  check_int "no narrowing projection inserted" 0
+    (Op.count
+       (function Op.Project (_, Op.Scan _) -> true | _ -> false)
+       (match opt with Op.Project (_, inner) -> inner | p -> p))
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "sexpr",
+        [
+          Alcotest.test_case "null semantics" `Quick test_sexpr_nulls;
+          Alcotest.test_case "labels" `Quick test_sexpr_labels;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "outer join" `Quick test_outer_join;
+          Alcotest.test_case "unnest variants" `Quick test_unnest_variants;
+          Alcotest.test_case "nest bag presence" `Quick test_nest_bag_presence;
+          Alcotest.test_case "nest sum placeholders" `Quick
+            test_nest_sum_placeholders;
+          Alcotest.test_case "union alignment" `Quick test_union_alignment;
+          Alcotest.test_case "dedup" `Quick test_dedup_rows;
+          Alcotest.test_case "schema inference" `Quick test_schema_inference;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "select fusion" `Quick test_select_fusion;
+          Alcotest.test_case "prune respects whole uses" `Quick
+            test_prune_keeps_whole_uses;
+        ] );
+    ]

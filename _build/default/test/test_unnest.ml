@@ -1,0 +1,305 @@
+(** Tests for the unnesting stage: every query in the fixture corpus must
+    produce a plan whose local evaluation agrees with the NRC reference
+    interpreter, with and without the plan optimizer; plus structural checks
+    mirroring Figure 3 and equivalence checks for each optimizer rewrite. *)
+
+module V = Nrc.Value
+module Op = Plan.Op
+module S = Plan.Sexpr
+open Nrc.Builder
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let agree ?config name q () =
+  let expected = Fixtures.eval_ref q in
+  let actual = Fixtures.eval_plan ?config q in
+  Fixtures.check_bag_equal name expected actual
+
+let corpus_tests =
+  List.concat_map
+    (fun (name, q) ->
+      [
+        Alcotest.test_case (name ^ " (raw plan)") `Quick (agree name q);
+        Alcotest.test_case (name ^ " (optimized)") `Quick
+          (agree
+             ~config:
+               { Plan.Optimize.default with
+                 unique_keys = [ ("Part", [ "pid" ]) ] }
+             name q);
+        Alcotest.test_case (name ^ " (no optimizations)") `Quick
+          (agree ~config:Plan.Optimize.none name q);
+      ])
+    Fixtures.corpus
+
+(* ------------------------------------------------------------------ *)
+(* Structural checks on the example1 plan (cf. Figure 3) *)
+
+let example1_plan () =
+  Trance.Unnest.translate ~tenv:Fixtures.inputs_ty Fixtures.example1
+
+let test_plan_shape () =
+  let plan = example1_plan () in
+  let count p = Op.count p plan in
+  (* two outer unnests: corders, oparts *)
+  check_int "outer unnests" 2
+    (count (function Op.Unnest { outer = true; _ } -> true | _ -> false));
+  (* one outer join against Part *)
+  check_int "outer joins" 1
+    (count (function Op.Join { kind = Op.LeftOuter; _ } -> true | _ -> false));
+  (* one Gamma-plus for the sumBy, two Gamma-union for the two levels *)
+  check_int "gamma plus" 1
+    (count (function Op.NestSum _ -> true | _ -> false));
+  check_int "gamma union" 2
+    (count (function Op.NestBag _ -> true | _ -> false));
+  (* scans of both inputs *)
+  check_int "scans" 2 (count (function Op.Scan _ -> true | _ -> false))
+
+let test_flat_query_plan_shape () =
+  (* purely flat query: no Gammas, no outer operators, a plain join *)
+  let q =
+    for_ "p" (input "Part") (fun p ->
+        for_ "q" (input "Part") (fun q ->
+            where
+              (p #. "pid" == q #. "pid")
+              (sng (record [ ("pid", p #. "pid") ]))))
+  in
+  let plan = Trance.Unnest.translate ~tenv:Fixtures.inputs_ty q in
+  check_int "no gammas" 0
+    (Op.count (function Op.NestBag _ | Op.NestSum _ -> true | _ -> false) plan);
+  check_int "inner join" 1
+    (Op.count (function Op.Join { kind = Op.Inner; _ } -> true | _ -> false) plan);
+  check_int "no outer" 0
+    (Op.count
+       (function
+         | Op.Join { kind = Op.LeftOuter; _ } | Op.Unnest { outer = true; _ } ->
+           true
+         | _ -> false)
+       plan)
+
+let test_join_detection () =
+  (* nested loop with equality condition becomes a hash join, not a product *)
+  let plan = example1_plan () in
+  check_int "no cartesian products" 0
+    (Op.count (function Op.Product _ -> true | _ -> false) plan)
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer rewrites *)
+
+let test_prune_columns () =
+  let q = Fixtures.nested_to_flat in
+  let raw = Trance.Unnest.translate ~tenv:Fixtures.inputs_ty q in
+  let pruned = Plan.Optimize.prune_columns raw in
+  (* the Part scan must be narrowed: price/pname/pid used, nothing else...
+     here all three are used, so instead check on a query using only pid *)
+  let q2 =
+    for_ "p" (input "Part") (fun p ->
+        for_ "q" (input "Part") (fun q ->
+            where (p #. "pid" == q #. "pid") (sng (record [ ("pid", p #. "pid") ]))))
+  in
+  let raw2 = Trance.Unnest.translate ~tenv:Fixtures.inputs_ty q2 in
+  let pruned2 = Plan.Optimize.prune_columns raw2 in
+  let narrowing =
+    Op.count
+      (function
+        | Op.Project ([ (_, S.MkTuple fields) ], Op.Scan _) ->
+          List.length fields = 1
+        | _ -> false)
+      pruned2
+  in
+  check_int "both Part scans narrowed to pid" 2 narrowing;
+  (* semantics preserved *)
+  Fixtures.check_bag_equal "prune preserves semantics (nested_to_flat)"
+    (Plan.Local_eval.eval_to_bag
+       (Plan.Local_eval.env_of_list Fixtures.inputs_val)
+       raw)
+    (Plan.Local_eval.eval_to_bag
+       (Plan.Local_eval.env_of_list Fixtures.inputs_val)
+       pruned)
+
+let test_push_agg () =
+  let config =
+    { Plan.Optimize.default with unique_keys = [ ("Part", [ "pid" ]) ] }
+  in
+  let raw = Trance.Unnest.translate ~tenv:Fixtures.inputs_ty Fixtures.example1 in
+  let opt = Plan.Optimize.optimize ~config raw in
+  (* the rewrite introduces a second Gamma-plus (the partial sum) *)
+  check_int "partial aggregate introduced" 2
+    (Op.count (function Op.NestSum _ -> true | _ -> false) opt);
+  Fixtures.check_bag_equal "push_agg preserves semantics"
+    (Fixtures.eval_ref Fixtures.example1)
+    (Fixtures.eval_plan ~config Fixtures.example1)
+
+let test_push_select () =
+  let q =
+    for_ "cop" (input "COP") (fun cop ->
+        for_ "p" (input "Part") (fun p ->
+            where
+              (cop #. "cname" == str "alice")
+              (where
+                 (p #. "price" > real 15.0)
+                 (sng (record [ ("cname", cop #. "cname"); ("pid", p #. "pid") ])))))
+  in
+  let raw = Trance.Unnest.translate ~tenv:Fixtures.inputs_ty q in
+  let opt = Plan.Optimize.push_select raw in
+  (* after pushdown, some select sits directly on a scan *)
+  let on_scan =
+    Op.count
+      (function Op.Select (_, Op.Scan _) -> true | _ -> false)
+      opt
+  in
+  check "select pushed to scan" true (Stdlib.( >= ) on_scan 1);
+  Fixtures.check_bag_equal "push_select preserves semantics"
+    (Fixtures.eval_ref q)
+    (Fixtures.eval_plan ~config:Plan.Optimize.default q)
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases *)
+
+let test_empty_inputs () =
+  let empty_inputs =
+    [ ("COP", V.Bag []); ("Part", V.Bag []) ]
+  in
+  List.iter
+    (fun (name, q) ->
+      let expected = Nrc.Eval.eval (Nrc.Eval.env_of_list empty_inputs) q in
+      let plan = Trance.Unnest.translate ~tenv:Fixtures.inputs_ty q in
+      let actual =
+        Plan.Local_eval.eval_to_bag
+          (Plan.Local_eval.env_of_list empty_inputs)
+          plan
+      in
+      Fixtures.check_bag_equal (name ^ " on empty inputs") expected actual)
+    Fixtures.corpus
+
+let test_program_translation () =
+  (* two assignments: materialize a nested result, then query it *)
+  let prog =
+    Nrc.Program.make ~inputs:Fixtures.inputs_ty
+      [
+        ("Nested", Fixtures.example1);
+        ( "Flat",
+          sum_by ~keys:[ "cname" ] ~values:[ "n" ]
+            (for_ "x" (input "Nested") (fun x ->
+                 for_ "o" (x #. "corders") (fun _ ->
+                     sng (record [ ("cname", x #. "cname"); ("n", int_ 1) ])))) );
+      ]
+  in
+  let plans = Trance.Unnest.translate_program prog in
+  check_int "two plans" 2 (List.length plans);
+  (* run both through the local evaluator, threading results *)
+  let env = Plan.Local_eval.env_of_list Fixtures.inputs_val in
+  let final =
+    List.fold_left
+      (fun acc (name, plan) ->
+        let bag = Plan.Local_eval.eval_to_bag env plan in
+        Hashtbl.replace env name (V.bag_items bag);
+        (name, bag) :: acc)
+      [] plans
+  in
+  let actual = List.assoc "Flat" final in
+  let expected =
+    Nrc.Eval.Env.find "Flat" (Nrc.Program.eval prog Fixtures.inputs_val)
+  in
+  Fixtures.check_bag_equal "program result" expected actual
+
+let test_unsupported_is_clean () =
+  (* constructs outside the supported fragment raise Unsupported, not a
+     generic failure: here a union inside a nested bag attribute *)
+  let q =
+    for_ "p" (input "Part") (fun p ->
+        sng
+          (record
+             [
+               ( "a",
+                 for_ "x" (input "COP") (fun x -> sng (x #. "cname"))
+                 ++ for_ "y" (input "COP") (fun y -> sng (y #. "cname")) );
+               ("pid", p #. "pid");
+             ]))
+  in
+  match Trance.Unnest.translate ~tenv:Fixtures.inputs_ty q with
+  | _ -> Alcotest.fail "expected Unsupported"
+  | exception Trance.Unnest.Unsupported _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Property tests: random flat data through a fixed set of query shapes *)
+
+let arbitrary_parts =
+  QCheck.make
+    ~print:(fun parts ->
+      V.to_string (V.Bag parts))
+    QCheck.Gen.(
+      list_size (int_bound 30)
+        (map3
+           (fun pid pname price ->
+             Fixtures.part (pid mod 8) (Printf.sprintf "n%d" (pname mod 4))
+               (float_of_int (price mod 50)))
+           nat nat nat))
+
+let prop_join_agg_agree =
+  QCheck.Test.make ~name:"random parts: join+sumBy plan agrees with NRC"
+    ~count:60 arbitrary_parts (fun parts ->
+      let q =
+        sum_by ~keys:[ "pname" ] ~values:[ "total" ]
+          (for_ "p" (input "Part") (fun p ->
+               for_ "q" (input "Part") (fun q ->
+                   where
+                     (p #. "pid" == q #. "pid")
+                     (sng
+                        (record
+                           [ ("pname", p #. "pname"); ("total", q #. "price") ])))))
+      in
+      let data = [ ("Part", V.Bag parts); ("COP", V.Bag []) ] in
+      let expected = Nrc.Eval.eval (Nrc.Eval.env_of_list data) q in
+      let plan = Trance.Unnest.translate ~tenv:Fixtures.inputs_ty q in
+      let actual =
+        Plan.Local_eval.eval_to_bag (Plan.Local_eval.env_of_list data) plan
+      in
+      V.approx_bag_equal expected actual)
+
+let prop_nested_reconstruction =
+  QCheck.Test.make
+    ~name:"random parts: flat-to-nested plan agrees with NRC" ~count:60
+    arbitrary_parts (fun parts ->
+      let data = [ ("Part", V.Bag parts); ("COP", V.Bag []) ] in
+      let expected =
+        Nrc.Eval.eval (Nrc.Eval.env_of_list data) Fixtures.flat_to_nested
+      in
+      let plan =
+        Trance.Unnest.translate ~tenv:Fixtures.inputs_ty Fixtures.flat_to_nested
+      in
+      let actual =
+        Plan.Local_eval.eval_to_bag (Plan.Local_eval.env_of_list data) plan
+      in
+      V.approx_bag_equal expected actual)
+
+let () =
+  Alcotest.run "unnest"
+    [
+      ("corpus", corpus_tests);
+      ( "plan shape",
+        [
+          Alcotest.test_case "example1 matches Figure 3" `Quick test_plan_shape;
+          Alcotest.test_case "flat query stays flat" `Quick
+            test_flat_query_plan_shape;
+          Alcotest.test_case "joins detected" `Quick test_join_detection;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "column pruning" `Quick test_prune_columns;
+          Alcotest.test_case "aggregation pushdown" `Quick test_push_agg;
+          Alcotest.test_case "selection pushdown" `Quick test_push_select;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "empty inputs" `Quick test_empty_inputs;
+          Alcotest.test_case "programs" `Quick test_program_translation;
+          Alcotest.test_case "unsupported raises cleanly" `Quick
+            test_unsupported_is_clean;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_join_agg_agree;
+          QCheck_alcotest.to_alcotest prop_nested_reconstruction;
+        ] );
+    ]
