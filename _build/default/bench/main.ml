@@ -17,26 +17,13 @@
     comparison lives in EXPERIMENTS.md. Run all targets with
     [dune exec bench/main.exe], or a single one by name. Options:
     [--scale F] multiplies dataset sizes, [--mem MB] sets the per-worker
-    memory budget (the FAIL threshold). *)
+    memory budget (the FAIL threshold), and [--json FILE] records every run
+    — totals, per-step stats slices, and per-operator span trees — as a
+    JSON array. *)
 
 let scale_factor = ref 1.0
 let mem_mb : float option ref = ref None
-let targets : string list ref = ref []
-
-let () =
-  let rec parse = function
-    | [] -> ()
-    | "--scale" :: v :: rest ->
-      scale_factor := float_of_string v;
-      parse rest
-    | "--mem" :: v :: rest ->
-      mem_mb := Some (float_of_string v);
-      parse rest
-    | t :: rest ->
-      targets := !targets @ [ t ];
-      parse rest
-  in
-  parse (List.tl (Array.to_list Sys.argv))
+let json_path : string option ref = ref None
 
 let sc n = max 1 (int_of_float (float_of_int n *. !scale_factor))
 
@@ -60,6 +47,21 @@ let base_config ~default_mem () =
       { Plan.Optimize.default with
         unique_keys = [ ("Part", [ "pkey" ]); ("GeneMeta", [ "gid" ]) ] } }
 
+(* All benchmark runs funnel through here so --json can record every run
+   (with tracing enabled) without each figure threading a recorder. *)
+let current_target = ref ""
+let recorded : (string * Trance.Api.run) list ref = ref []
+
+let api_run ~label ~(config : Trance.Api.config) ~strategy prog inputs =
+  let config =
+    if !json_path = None then config
+    else { config with Trance.Api.trace = true }
+  in
+  let r = Trance.Api.run ~config ~strategy prog inputs in
+  if !json_path <> None then
+    recorded := (!current_target ^ "/" ^ label, r) :: !recorded;
+  r
+
 (* ------------------------------------------------------------------ *)
 (* Row printing *)
 
@@ -73,13 +75,14 @@ let mb b = float_of_int b /. 1048576.
 let row ~family ~level ~(r : Trance.Api.run) =
   let s = r.Trance.Api.stats in
   Printf.printf "%-18s %-5s %-16s %9.3f %10.2f %10.2f %9.2f  %s\n" family level
-    r.Trance.Api.strategy s.Exec.Stats.sim_seconds
-    (mb s.Exec.Stats.shuffled_bytes)
-    (mb s.Exec.Stats.broadcast_bytes)
-    (mb s.Exec.Stats.peak_worker_bytes)
+    r.Trance.Api.strategy
+    (Exec.Stats.sim_seconds s)
+    (mb (Exec.Stats.shuffled_bytes s))
+    (mb (Exec.Stats.broadcast_bytes s))
+    (mb (Exec.Stats.peak_worker_bytes s))
     (match r.Trance.Api.failure with
     | None -> "ok"
-    | Some f -> "FAIL (" ^ f ^ ")")
+    | Some f -> "FAIL (" ^ Trance.Api.failure_message f ^ ")")
 
 (* ------------------------------------------------------------------ *)
 (* Figure 7 *)
@@ -130,7 +133,13 @@ let fig7 ~wide () =
           in
           List.iter
             (fun strategy ->
-              let r = Trance.Api.run ~config ~strategy prog inputs in
+              let label =
+                Printf.sprintf "%s/L%d/%s"
+                  (Tpch.Queries.family_name family)
+                  level
+                  (Trance.Api.strategy_name strategy)
+              in
+              let r = api_run ~label ~config ~strategy prog inputs in
               results := ((family, level, r.Trance.Api.strategy), r) :: !results;
               row
                 ~family:(Tpch.Queries.family_name family)
@@ -140,14 +149,12 @@ let fig7 ~wide () =
     families;
   (* automated claim summary (headline bullets of Section 6) *)
   let get f l s = List.assoc_opt (f, l, s) !results in
+  let sim (r : Trance.Api.run) = Exec.Stats.sim_seconds r.Trance.Api.stats in
   let ratio num den =
     match num, den with
     | Some a, Some b -> (
       match a.Trance.Api.failure, b.Trance.Api.failure with
-      | None, None when b.Trance.Api.stats.Exec.Stats.sim_seconds > 0. ->
-        Printf.sprintf "%.1fx"
-          (a.Trance.Api.stats.Exec.Stats.sim_seconds
-          /. b.Trance.Api.stats.Exec.Stats.sim_seconds)
+      | None, None when sim b > 0. -> Printf.sprintf "%.1fx" (sim a /. sim b)
       | Some _, None -> "inf (flattening FAILed)"
       | _, _ -> "n/a")
     | _ -> "n/a"
@@ -156,10 +163,10 @@ let fig7 ~wide () =
     match num, den with
     | Some a, Some b
       when a.Trance.Api.failure = None && b.Trance.Api.failure = None
-           && b.Trance.Api.stats.Exec.Stats.shuffled_bytes > 0 ->
+           && Exec.Stats.shuffled_bytes b.Trance.Api.stats > 0 ->
       Printf.sprintf "%.1fx"
-        (float_of_int a.Trance.Api.stats.Exec.Stats.shuffled_bytes
-        /. float_of_int b.Trance.Api.stats.Exec.Stats.shuffled_bytes)
+        (float_of_int (Exec.Stats.shuffled_bytes a.Trance.Api.stats)
+        /. float_of_int (Exec.Stats.shuffled_bytes b.Trance.Api.stats))
     | _ -> "n/a"
   in
   Printf.printf "\n-- claim summary (Section 6 bullets) --\n";
@@ -203,7 +210,12 @@ let fig8 () =
               optimizer = { c.optimizer with push_aggs = false } }
           else c
         in
-        let r = Trance.Api.run ~config ~strategy prog inputs in
+        let label =
+          Printf.sprintf "s%d/%s%s" skew
+            (Trance.Api.strategy_name strategy)
+            (if skew_aware then "+skew" else "")
+        in
+        let r = api_run ~label ~config ~strategy prog inputs in
         let name = r.Trance.Api.strategy ^ if skew_aware then "+skew" else "" in
         row ~family:"n-to-n skew"
           ~level:(Printf.sprintf "s=%d" skew)
@@ -234,25 +246,26 @@ let fig9 () =
     List.iter
       (fun strategy ->
         let r =
-          Trance.Api.run ~config ~strategy Biomed.Pipeline.program inputs
+          api_run
+            ~label:(label ^ "/" ^ Trance.Api.strategy_name strategy)
+            ~config ~strategy Biomed.Pipeline.program inputs
         in
+        let steps = Trance.Api.step_seconds r in
         let step name =
           List.fold_left
             (fun acc (s, t) ->
               if s = name || (name = "Step3" && s = "Step3u") then acc +. t
               else acc)
-            0. r.Trance.Api.step_seconds
+            0. steps
         in
-        let total =
-          List.fold_left (fun a (_, t) -> a +. t) 0. r.Trance.Api.step_seconds
-        in
+        let total = List.fold_left (fun a (_, t) -> a +. t) 0. steps in
         Printf.printf "%-14s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %10.2f  %s\n"
           r.Trance.Api.strategy (step "Step1") (step "Step2") (step "Step3")
           (step "Step4") (step "Step5") total
-          (mb r.Trance.Api.stats.Exec.Stats.shuffled_bytes)
+          (mb (Exec.Stats.shuffled_bytes r.Trance.Api.stats))
           (match r.Trance.Api.failure with
           | None -> "ok"
-          | Some f -> "FAIL (" ^ f ^ ")"))
+          | Some f -> "FAIL (" ^ Trance.Api.failure_message f ^ ")"))
       [
         Trance.Api.Standard;
         Trance.Api.Shredded { unshred = false };
@@ -302,7 +315,7 @@ let ablate () =
   in
   List.iter
     (fun (label, (prog, inputs), strategy, config) ->
-      let r = Trance.Api.run ~config ~strategy prog inputs in
+      let r = api_run ~label ~config ~strategy prog inputs in
       row ~family:label ~level:"2" ~r)
     cases
 
@@ -316,13 +329,17 @@ let scaling () =
   let family = Tpch.Queries.Nested_to_nested and level = 2 in
   let prog = Tpch.Queries.program ~wide:false ~family ~level () in
   let config = base_config ~default_mem:10000. () in
-  let run_cell scale =
+  let run_cell label scale =
     let db = Tpch.Generator.generate scale in
     let inputs = Tpch.Queries.input_values ~wide:false ~family ~level db in
     List.map
       (fun strategy ->
-        let r = Trance.Api.run ~config ~strategy prog inputs in
-        r.Trance.Api.stats.Exec.Stats.sim_seconds)
+        let r =
+          api_run
+            ~label:(label ^ "/" ^ Trance.Api.strategy_name strategy)
+            ~config ~strategy prog inputs
+        in
+        Exec.Stats.sim_seconds r.Trance.Api.stats)
       [
         Trance.Api.Standard;
         Trance.Api.Shredded { unshred = false };
@@ -334,18 +351,18 @@ let scaling () =
   (* top-level cardinality sweep *)
   List.iter
     (fun c ->
-      let ts = run_cell { (tpch_scale ()) with customers = c } in
-      Printf.printf "%-34s %10.4f %10.4f %10.4f\n"
-        (Printf.sprintf "customers=%d" c)
-        (List.nth ts 0) (List.nth ts 1) (List.nth ts 2))
+      let label = Printf.sprintf "customers=%d" c in
+      let ts = run_cell label { (tpch_scale ()) with customers = c } in
+      Printf.printf "%-34s %10.4f %10.4f %10.4f\n" label (List.nth ts 0)
+        (List.nth ts 1) (List.nth ts 2))
     [ sc 150; sc 300; sc 600; sc 1200 ];
   (* inner-collection-size sweep *)
   List.iter
     (fun lpo ->
-      let ts = run_cell { (tpch_scale ()) with lineitems_per_order = lpo } in
-      Printf.printf "%-34s %10.4f %10.4f %10.4f\n"
-        (Printf.sprintf "lineitems_per_order=%d" lpo)
-        (List.nth ts 0) (List.nth ts 1) (List.nth ts 2))
+      let label = Printf.sprintf "lineitems_per_order=%d" lpo in
+      let ts = run_cell label { (tpch_scale ()) with lineitems_per_order = lpo } in
+      Printf.printf "%-34s %10.4f %10.4f %10.4f\n" label (List.nth ts 0)
+        (List.nth ts 1) (List.nth ts 2))
     [ 2; 4; 8; 16 ]
 
 (* ------------------------------------------------------------------ *)
@@ -369,8 +386,14 @@ let cost_model () =
           let inputs = Tpch.Queries.input_values ~family ~level db in
           let rec_ = Trance.Cost.recommend ~config prog inputs in
           let sim strategy =
-            (Trance.Api.run ~config ~strategy prog inputs).Trance.Api.stats
-              .Exec.Stats.sim_seconds
+            let label =
+              Printf.sprintf "%s/L%d/%s"
+                (Tpch.Queries.family_name family)
+                level
+                (Trance.Api.strategy_name strategy)
+            in
+            Exec.Stats.sim_seconds
+              (api_run ~label ~config ~strategy prog inputs).Trance.Api.stats
           in
           let t_std = sim Trance.Api.Standard in
           let t_shred = sim (Trance.Api.Shredded { unshred = false }) in
@@ -463,17 +486,105 @@ let all_targets =
     ("micro", micro);
   ]
 
+let write_json path =
+  let b = Buffer.create 65536 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i (label, r) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"label\":\"";
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string b "\\\""
+          | '\\' -> Buffer.add_string b "\\\\"
+          | c -> Buffer.add_char b c)
+        label;
+      Buffer.add_string b "\",\"run\":";
+      Buffer.add_string b (Trance.Api.run_json r);
+      Buffer.add_char b '}')
+    (List.rev !recorded);
+  Buffer.add_string b "]\n";
+  match open_out path with
+  | exception Sys_error msg ->
+      Fmt.epr "cannot write JSON report: %s@." msg;
+      exit 1
+  | oc ->
+      Buffer.output_buffer oc b;
+      close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Command line *)
+
+open Cmdliner
+
+let scale_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "scale" ] ~docv:"F" ~doc:"Multiply dataset sizes by $(docv).")
+
+let mem_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "mem" ] ~docv:"MB"
+        ~doc:
+          "Per-worker memory budget in MB, overriding the per-figure \
+           defaults (the FAIL threshold).")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Record every run — totals, per-step stats slices, per-operator \
+           span trees — and write them as a JSON array to $(docv).")
+
+let targets_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"TARGET"
+        ~doc:
+          "Benchmark targets to run, in order (default: all). Available: \
+           fig7_narrow, fig7_wide, fig8_skew, fig9_biomed, ablate, scaling, \
+           cost_model, micro.")
+
+let main scale mem json ts =
+  scale_factor := scale;
+  mem_mb := mem;
+  json_path := json;
+  let requested = match ts with [] -> List.map fst all_targets | ts -> ts in
+  match
+    List.find_opt (fun t -> not (List.mem_assoc t all_targets)) requested
+  with
+  | Some t ->
+    Printf.eprintf "unknown target %s (available: %s)\n" t
+      (String.concat ", " (List.map fst all_targets));
+    1
+  | None ->
+    List.iter
+      (fun t ->
+        current_target := t;
+        (List.assoc t all_targets) ())
+      requested;
+    Option.iter
+      (fun path ->
+        write_json path;
+        Printf.printf "\nwrote %d run reports to %s\n"
+          (List.length !recorded) path)
+      json;
+    Printf.printf
+      "\nDone. See EXPERIMENTS.md for the paper-vs-measured comparison.\n";
+    0
+
 let () =
-  let requested =
-    match !targets with [] -> List.map fst all_targets | ts -> ts
+  let info =
+    Cmd.info "bench"
+      ~doc:
+        "Regenerate the paper's evaluation figures and tables on the cluster \
+         simulator."
   in
-  List.iter
-    (fun t ->
-      match List.assoc_opt t all_targets with
-      | Some f -> f ()
-      | None ->
-        Printf.eprintf "unknown target %s (available: %s)\n" t
-          (String.concat ", " (List.map fst all_targets));
-        exit 1)
-    requested;
-  Printf.printf "\nDone. See EXPERIMENTS.md for the paper-vs-measured comparison.\n"
+  exit
+    (Cmd.eval'
+       (Cmd.v info Term.(const main $ scale_arg $ mem_arg $ json_arg $ targets_arg)))

@@ -72,14 +72,64 @@ let mem_arg =
     value & opt float 64.
     & info [ "mem" ] ~docv:"MB" ~doc:"Per-worker memory budget in MB.")
 
-let api_config ~mem ~skew_aware =
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Record and print the per-operator execution span tree (one tree \
+           per assignment), plus a totals line checked against the flat \
+           statistics.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write the full run report (totals, per-step stats slices, span \
+           trees) as JSON to FILE. Implies tracing.")
+
+let api_config ~mem ~skew_aware ?(trace = false) () =
   { Trance.Api.default_config with
     skew_aware;
+    trace;
     cluster =
       { Exec.Config.default with
         worker_mem = int_of_float (mem *. 1048576.) };
     optimizer =
       { Plan.Optimize.default with unique_keys = [ ("Part", [ "pkey" ]) ] } }
+
+let print_trace (r : Trance.Api.run) =
+  List.iter
+    (fun sp -> Fmt.pr "%a" Exec.Trace.pp_tree sp)
+    r.Trance.Api.trace;
+  let t = Exec.Trace.agg r.Trance.Api.trace in
+  let s = r.Trance.Api.stats in
+  let mb b = float_of_int b /. 1048576. in
+  Fmt.pr
+    "trace totals: shuffle=%.2fMB bcast=%.2fMB peak=%.2fMB (flat stats \
+     agree: %s)@."
+    (mb t.Exec.Trace.shuffled_bytes)
+    (mb t.Exec.Trace.broadcast_bytes)
+    (mb t.Exec.Trace.peak_worker_bytes)
+    (if
+       t.Exec.Trace.shuffled_bytes = Exec.Stats.shuffled_bytes s
+       && t.Exec.Trace.broadcast_bytes = Exec.Stats.broadcast_bytes s
+       && t.Exec.Trace.peak_worker_bytes = Exec.Stats.peak_worker_bytes s
+     then "yes"
+     else "NO")
+
+let write_json path (r : Trance.Api.run) =
+  match open_out path with
+  | exception Sys_error msg ->
+      Fmt.epr "cannot write run report: %s@." msg;
+      exit 1
+  | oc ->
+      output_string oc (Trance.Api.run_json r);
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "wrote run report to %s@." path
 
 let make_db ~customers ~skew =
   Tpch.Generator.generate
@@ -123,13 +173,18 @@ let explain_cmd =
 (* ------------------------------------------------------------------ *)
 (* run: execute one cell on the simulator *)
 
-let run_cell family level wide skew customers strategy skew_aware mem =
+let run_cell family level wide skew customers strategy skew_aware mem trace
+    json =
   let db = make_db ~customers ~skew in
   let prog = Tpch.Queries.program ~wide ~family ~level () in
   let inputs = Tpch.Queries.input_values ~wide ~family ~level db in
-  let config = api_config ~mem ~skew_aware in
+  let config =
+    api_config ~mem ~skew_aware ~trace:(trace || json <> None) ()
+  in
   let r = Trance.Api.run ~config ~strategy prog inputs in
   Fmt.pr "%a@." Trance.Api.pp_run r;
+  if trace then print_trace r;
+  Option.iter (fun path -> write_json path r) json;
   (match r.Trance.Api.value, strategy with
   | Some v, Trance.Api.Shredded { unshred = false } ->
     Fmt.pr
@@ -150,7 +205,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a TPC-H query cell on the cluster simulator.")
     Term.(
       const run_cell $ family_arg $ level_arg $ wide_arg $ skew_arg $ scale_arg
-      $ strategy_arg $ skew_aware_arg $ mem_arg)
+      $ strategy_arg $ skew_aware_arg $ mem_arg $ trace_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* biomed: the E2E pipeline *)
@@ -158,24 +213,32 @@ let run_cmd =
 let small_arg =
   Arg.(value & flag & info [ "small" ] ~doc:"Use the small dataset variant.")
 
-let run_biomed strategy skew_aware mem small =
+let run_biomed strategy skew_aware mem small trace json =
   let scale =
     if small then Biomed.Generator.small_scale else Biomed.Generator.full_scale
   in
   let db = Biomed.Generator.generate scale in
   let inputs = Biomed.Generator.inputs db in
-  let config = api_config ~mem ~skew_aware in
+  let config =
+    api_config ~mem ~skew_aware ~trace:(trace || json <> None) ()
+  in
   let r = Trance.Api.run ~config ~strategy Biomed.Pipeline.program inputs in
   Fmt.pr "%a@." Trance.Api.pp_run r;
   List.iter
-    (fun (step, t) -> Fmt.pr "  %-8s %.4f sim s@." step t)
-    r.Trance.Api.step_seconds;
+    (fun (s : Trance.Api.step_report) ->
+      Fmt.pr "  %-8s %.4f sim s [%a]@." s.Trance.Api.step
+        s.Trance.Api.sim_seconds Exec.Stats.pp_snapshot s.Trance.Api.stats)
+    r.Trance.Api.steps;
+  if trace then print_trace r;
+  Option.iter (fun path -> write_json path r) json;
   match r.Trance.Api.failure with Some _ -> 1 | None -> 0
 
 let biomed_cmd =
   Cmd.v
     (Cmd.info "biomed" ~doc:"Run the biomedical E2E pipeline (Figure 9).")
-    Term.(const run_biomed $ strategy_arg $ skew_aware_arg $ mem_arg $ small_arg)
+    Term.(
+      const run_biomed $ strategy_arg $ skew_aware_arg $ mem_arg $ small_arg
+      $ trace_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* query: parse and run a textual NRC query against generated TPC-H data *)
@@ -224,7 +287,7 @@ let run_query qtext level skew customers strategy skew_aware mem limit =
       Fmt.epr "type error: %s@." m;
       1
     | _ ->
-      let config = api_config ~mem ~skew_aware in
+      let config = api_config ~mem ~skew_aware () in
       let r = Trance.Api.run ~config ~strategy prog inputs_val in
       Fmt.pr "%a@." Trance.Api.pp_run r;
       (match r.Trance.Api.value with

@@ -47,12 +47,12 @@ let () =
           let r = Trance.Api.run ~config ~strategy prog inputs in
           Fmt.pr "%-6d %-14s %9.3f %10.2f %9.2f  %s@." skew
             (r.Trance.Api.strategy ^ if skew_aware then "+skew" else "")
-            r.Trance.Api.stats.Exec.Stats.sim_seconds
-            (mb r.Trance.Api.stats.Exec.Stats.shuffled_bytes)
-            (mb r.Trance.Api.stats.Exec.Stats.peak_worker_bytes)
+            (Exec.Stats.sim_seconds r.Trance.Api.stats)
+            (mb (Exec.Stats.shuffled_bytes r.Trance.Api.stats))
+            (mb (Exec.Stats.peak_worker_bytes r.Trance.Api.stats))
             (match r.Trance.Api.failure with
             | None -> "ok"
-            | Some f -> "FAIL (" ^ f ^ ")"))
+            | Some f -> "FAIL (" ^ Trance.Api.failure_message f ^ ")"))
         [
           (false, Trance.Api.Standard);
           (true, Trance.Api.Standard);

@@ -1,1 +1,1 @@
-lib/core/api.ml: Exec Fmt Hashtbl List Materialize Nrc Option Plan Printf Shred_pipeline Shred_type Shred_value String Unix Unnest
+lib/core/api.ml: Buffer Char Exec Fmt Hashtbl List Materialize Nrc Option Plan Printf Shred_pipeline Shred_type Shred_value String Unix Unnest

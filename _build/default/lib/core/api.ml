@@ -9,8 +9,10 @@
       (Section 4).
 
     Both routes accept skew-aware execution (Section 5) and report the
-    executor's instrumentation; per-worker memory exhaustion is reported as
-    a failed run (the paper's FAIL bars), not an exception. *)
+    executor's instrumentation — totals, typed per-step reports, and (when
+    [config.trace] is on) per-operator span trees; per-worker memory
+    exhaustion is reported as a typed failed run (the paper's FAIL bars),
+    not an exception. *)
 
 module E = Nrc.Expr
 module T = Nrc.Types
@@ -39,6 +41,7 @@ type config = {
   optimizer : Plan.Optimize.config;
   materializer : Materialize.config;
   collect : bool; (* gather the result value back to the driver *)
+  trace : bool; (* record per-operator execution span trees *)
 }
 
 let default_config =
@@ -49,19 +52,44 @@ let default_config =
     optimizer = Plan.Optimize.default;
     materializer = Materialize.default;
     collect = true;
+    trace = false;
   }
+
+type failure =
+  | Out_of_memory of { stage : string; worker_bytes : int; budget : int }
+      (** a worker exceeded its budget at [stage] — the paper's FAIL *)
+  | Error of string
+
+let failure_message = function
+  | Out_of_memory { stage; worker_bytes; budget } ->
+    Printf.sprintf "%s: %dMB > %dMB" stage (worker_bytes / 1048576)
+      (budget / 1048576)
+  | Error msg -> msg
+
+let pp_failure ppf f = Fmt.string ppf (failure_message f)
+
+type step_report = {
+  step : string; (* source assignment name; "Unshred" for reassembly *)
+  sim_seconds : float;
+  stats : Exec.Stats.snapshot; (* this step's slice of the counters *)
+  trace : Exec.Trace.span option; (* span tree when [config.trace] *)
+}
 
 type run = {
   strategy : string;
   value : V.t option; (* collected result (None when [collect] is false) *)
   stats : Exec.Stats.t;
   wall_seconds : float;
-  failure : string option; (* OOM stage description; the paper's FAIL *)
-  step_seconds : (string * float) list;
-      (* simulated seconds attributed to each source assignment (shredded
-         dictionary assignments are folded into their step by name prefix);
-         the trailing "Unshred" entry covers result reassembly *)
+  failure : failure option;
+  steps : step_report list;
+      (* one report per source step (shredded dictionary assignments are
+         folded into their step by name prefix); the trailing "Unshred"
+         report covers result reassembly *)
+  trace : Exec.Trace.span list;
+      (* root spans, one per executed assignment; [] unless tracing *)
 }
+
+let step_seconds r = List.map (fun s -> (s.step, s.sim_seconds)) r.steps
 
 (* attribute an assignment name to its source step: Step1_D_genes -> Step1 *)
 let step_of_target targets name =
@@ -80,38 +108,128 @@ let step_of_target targets name =
     | Some t -> t
     | None -> name)
 
-(* run assignments one at a time, recording simulated-time deltas into
-   [steps_out] (which survives a mid-run memory failure) *)
-let run_steps ~options ~config ~stats ~targets ~steps_out env plans =
+(* Per-step accumulator: (step, stats slice, assignment spans in reverse).
+   Survives a mid-run memory failure because it lives in a ref the caller
+   holds on to. *)
+type step_acc = (string * Exec.Stats.snapshot * Exec.Trace.span list) list
+
+let record_step ~stats ~trace ~before ~step (acc : step_acc ref) : unit =
+  let slice = Exec.Stats.diff (Exec.Stats.snapshot stats) before in
+  let span = Option.bind trace Exec.Trace.last_root in
+  acc :=
+    match !acc with
+    | (s, sl, spans) :: rest when s = step ->
+      ( s,
+        Exec.Stats.merge sl slice,
+        (match span with None -> spans | Some sp -> sp :: spans) )
+      :: rest
+    | l -> (step, slice, Option.to_list span) :: l
+
+let reports_of (acc : step_acc) : step_report list =
+  List.rev_map
+    (fun (step, slice, spans) ->
+      {
+        step;
+        sim_seconds = slice.Exec.Stats.sim_seconds;
+        stats = slice;
+        trace =
+          (match List.rev spans with
+          | [] -> None
+          | [ sp ] -> Some sp
+          | sps -> Some (Exec.Trace.group ~op:"Step" ~stage:step sps));
+      })
+    acc
+
+(* run assignments one at a time, slicing the stats (and trace) per step *)
+let run_steps ~options ~config ~stats ~trace ~targets ~steps_out env plans =
   List.iter
     (fun (name, plan) ->
-      let before = stats.Exec.Stats.sim_seconds in
+      let before = Exec.Stats.snapshot stats in
       let ds =
-        try Exec.Executor.run_plan ~options ~config ~stats env plan
+        try
+          Exec.Trace.with_span trace ~op:"Assignment" ~stage:name (fun () ->
+              Exec.Executor.run_plan ~options ?trace ~config ~stats env plan)
         with Exec.Stats.Worker_out_of_memory w ->
-          (* attribute the failure to its source step *)
+          (* attribute the failure to its source step; the partially filled
+             step slice is still recorded for the failure report *)
+          record_step ~stats ~trace ~before
+            ~step:(step_of_target targets name) steps_out;
           raise
             (Exec.Stats.Worker_out_of_memory
                { w with stage = step_of_target targets name ^ "/" ^ w.stage })
       in
       Hashtbl.replace env name ds;
-      let dt = stats.Exec.Stats.sim_seconds -. before in
-      let step = step_of_target targets name in
-      steps_out :=
-        (match !steps_out with
-        | (s, t) :: rest when s = step -> (s, t +. dt) :: rest
-        | l -> (step, dt) :: l))
-    plans;
-  List.rev !steps_out
+      record_step ~stats ~trace ~before ~step:(step_of_target targets name)
+        steps_out)
+    plans
 
 let pp_run ppf r =
   match r.failure with
-  | Some stage ->
-    Fmt.pf ppf "%-14s FAIL (%s) after %.3fs [%a]" r.strategy stage
-      r.wall_seconds Exec.Stats.pp r.stats
+  | Some f ->
+    Fmt.pf ppf "%-14s FAIL (%s) after %.3fs [%a]" r.strategy
+      (failure_message f) r.wall_seconds Exec.Stats.pp r.stats
   | None ->
     Fmt.pf ppf "%-14s ok in %.3fs [%a]" r.strategy r.wall_seconds Exec.Stats.pp
       r.stats
+
+(* ------------------------------------------------------------------ *)
+(* JSON reporting (hand-rolled; the image has no JSON library) *)
+
+let snapshot_json (s : Exec.Stats.snapshot) =
+  Printf.sprintf
+    "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"peak_worker_bytes\":%d,\"rows_processed\":%d,\"stages\":%d,\"sim_seconds\":%.6g}"
+    s.Exec.Stats.shuffled_bytes s.Exec.Stats.broadcast_bytes
+    s.Exec.Stats.peak_worker_bytes s.Exec.Stats.rows_processed
+    s.Exec.Stats.stages s.Exec.Stats.sim_seconds
+
+let json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let run_json (r : run) : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"strategy\":";
+  json_string b r.strategy;
+  Buffer.add_string b (Printf.sprintf ",\"wall_seconds\":%.6g" r.wall_seconds);
+  Buffer.add_string b ",\"failure\":";
+  (match r.failure with
+  | None -> Buffer.add_string b "null"
+  | Some f -> json_string b (failure_message f));
+  Buffer.add_string b ",\"totals\":";
+  Buffer.add_string b (snapshot_json (Exec.Stats.snapshot r.stats));
+  Buffer.add_string b ",\"steps\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"step\":";
+      json_string b s.step;
+      Buffer.add_string b
+        (Printf.sprintf ",\"sim_seconds\":%.6g,\"stats\":" s.sim_seconds);
+      Buffer.add_string b (snapshot_json s.stats);
+      Buffer.add_string b ",\"trace\":";
+      (match s.trace with
+      | None -> Buffer.add_string b "null"
+      | Some sp -> Exec.Trace.buffer_json b sp);
+      Buffer.add_char b '}')
+    r.steps;
+  Buffer.add_string b "],\"trace\":[";
+  List.iteri
+    (fun i sp ->
+      if i > 0 then Buffer.add_char b ',';
+      Exec.Trace.buffer_json b sp)
+    r.trace;
+  Buffer.add_string b "]}";
+  Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
 (* Plan compilation *)
@@ -237,16 +355,14 @@ let catch_oom f =
   match f () with
   | v -> (Some v, None)
   | exception Exec.Stats.Worker_out_of_memory { stage; worker_bytes; budget } ->
-    ( None,
-      Some
-        (Printf.sprintf "%s: %dMB > %dMB" stage
-           (worker_bytes / 1048576) (budget / 1048576)) )
+    (None, Some (Out_of_memory { stage; worker_bytes; budget }))
 
 (** Run a program with the given strategy; never raises on memory
     exhaustion. *)
 let run ?(config = default_config) ~(strategy : strategy)
     (p : Nrc.Program.t) (input_values : (string * V.t) list) : run =
   let stats = Exec.Stats.create () in
+  let trace = if config.trace then Some (Exec.Trace.create ()) else None in
   let cluster = config.cluster in
   let exec_options =
     {
@@ -271,6 +387,17 @@ let run ?(config = default_config) ~(strategy : strategy)
   let targets =
     List.map (fun { Nrc.Program.target; _ } -> target) p.Nrc.Program.assignments
   in
+  let finish ~strategy ~value ~wall ~failure ~steps_out =
+    {
+      strategy = strategy_name strategy;
+      value;
+      stats;
+      wall_seconds = wall;
+      failure;
+      steps = reports_of !steps_out;
+      trace = (match trace with None -> [] | Some c -> Exec.Trace.roots c);
+    }
+  in
   match strategy with
   | Standard | SparkSQL_proxy ->
     let plans = compile_standard ~config p in
@@ -279,31 +406,15 @@ let run ?(config = default_config) ~(strategy : strategy)
     let outcome, wall =
       timed (fun () ->
           catch_oom (fun () ->
-              let steps =
-                run_steps ~options:exec_options ~config:cluster ~stats ~targets
-                  ~steps_out env plans
-              in
-              let value =
-                if config.collect then
-                  Some (Exec.Dataset.to_bag (Hashtbl.find env result_name))
-                else None
-              in
-              (value, steps)))
+              run_steps ~options:exec_options ~config:cluster ~stats ~trace
+                ~targets ~steps_out env plans;
+              if config.collect then
+                Some (Exec.Dataset.to_bag (Hashtbl.find env result_name))
+              else None))
     in
     let result, failure = outcome in
-    let value, steps =
-      match result with
-      | Some (v, s) -> (v, s)
-      | None -> (None, List.rev !steps_out)
-    in
-    {
-      strategy = strategy_name strategy;
-      value;
-      stats;
-      wall_seconds = wall;
-      failure;
-      step_seconds = steps;
-    }
+    let value = Option.join result in
+    finish ~strategy ~value ~wall ~failure ~steps_out
   | Shredded { unshred } ->
     let compiled = compile_shredded ~config p in
     let env = load_shredded_inputs ~cluster p.Nrc.Program.inputs input_values in
@@ -311,41 +422,26 @@ let run ?(config = default_config) ~(strategy : strategy)
     let outcome, wall =
       timed (fun () ->
           catch_oom (fun () ->
-              let steps =
-                run_steps ~options:exec_options ~config:cluster ~stats ~targets
-                  ~steps_out env compiled.plans
-              in
+              run_steps ~options:exec_options ~config:cluster ~stats ~trace
+                ~targets ~steps_out env compiled.plans;
               match unshred, compiled.unshred_plan with
               | true, Some uplan ->
-                let before = stats.Exec.Stats.sim_seconds in
+                let before = Exec.Stats.snapshot stats in
                 let ds =
-                  Exec.Executor.run_plan ~options:exec_options ~config:cluster
-                    ~stats env uplan
+                  Exec.Trace.with_span trace ~op:"Assignment" ~stage:"Unshred"
+                    (fun () ->
+                      Exec.Executor.run_plan ~options:exec_options ?trace
+                        ~config:cluster ~stats env uplan)
                 in
-                let steps =
-                  steps
-                  @ [ ("Unshred", stats.Exec.Stats.sim_seconds -. before) ]
-                in
-                ((if config.collect then Some (Exec.Dataset.to_bag ds) else None), steps)
+                record_step ~stats ~trace ~before ~step:"Unshred" steps_out;
+                if config.collect then Some (Exec.Dataset.to_bag ds) else None
               | _ ->
-                ( (if config.collect then
-                     Some
-                       (Exec.Dataset.to_bag
-                          (Hashtbl.find env compiled.pipeline.Shred_pipeline.top))
-                   else None),
-                  steps )))
+                if config.collect then
+                  Some
+                    (Exec.Dataset.to_bag
+                       (Hashtbl.find env compiled.pipeline.Shred_pipeline.top))
+                else None))
     in
     let result, failure = outcome in
-    let value, steps =
-      match result with
-      | Some (v, s) -> (v, s)
-      | None -> (None, List.rev !steps_out)
-    in
-    {
-      strategy = strategy_name (Shredded { unshred });
-      value;
-      stats;
-      wall_seconds = wall;
-      failure;
-      step_seconds = steps;
-    }
+    let value = Option.join result in
+    finish ~strategy:(Shredded { unshred }) ~value ~wall ~failure ~steps_out

@@ -9,8 +9,10 @@
       (Section 4).
 
     Both routes accept skew-aware execution (Section 5). Per-worker memory
-    exhaustion is reported as a failed run (the paper's FAIL bars), never
-    an exception. *)
+    exhaustion is reported as a typed failed run (the paper's FAIL bars),
+    never an exception. With [config.trace] on, every run additionally
+    carries per-operator {!Exec.Trace} span trees, and each
+    {!step_report} points at its step's span tree. *)
 
 type strategy =
   | Standard
@@ -32,25 +34,60 @@ type config = {
   optimizer : Plan.Optimize.config;
   materializer : Materialize.config;
   collect : bool;  (** gather the result back to the driver *)
+  trace : bool;  (** record per-operator execution span trees *)
 }
 
 val default_config : config
+(** Tracing off. *)
+
+(** {2 Reporting} *)
+
+type failure =
+  | Out_of_memory of { stage : string; worker_bytes : int; budget : int }
+      (** a worker exceeded its budget at [stage] (prefixed with the source
+          step, e.g. ["Step2/unnest"]) — the paper's FAIL *)
+  | Error of string
+
+val failure_message : failure -> string
+(** Legacy one-line description, e.g. ["Step2/unnest: 5MB > 4MB"]. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type step_report = {
+  step : string;
+      (** source assignment name; shredded dictionary assignments fold into
+          their step by name prefix; ["Unshred"] covers reassembly *)
+  sim_seconds : float;
+  stats : Exec.Stats.snapshot;
+      (** this step's slice of the run counters; slices
+          {!Exec.Stats.merge} back to the run totals (with
+          [peak_worker_bytes] as the max over steps) *)
+  trace : Exec.Trace.span option;
+      (** the step's span tree when tracing was on (a synthetic ["Step"]
+          span groups multi-assignment steps) *)
+}
 
 type run = {
   strategy : string;
   value : Nrc.Value.t option;  (** None when not collected or failed *)
   stats : Exec.Stats.t;
   wall_seconds : float;
-  failure : string option;
-      (** ["Step2/unnest: 5MB > 4MB"]-style description when a worker
-          exceeded its budget — the paper's FAIL *)
-  step_seconds : (string * float) list;
-      (** simulated seconds per source assignment (shredded dictionary
-          assignments fold into their step by name prefix); a trailing
-          ["Unshred"] entry covers reassembly *)
+  failure : failure option;
+  steps : step_report list;  (** one report per source step, in run order *)
+  trace : Exec.Trace.span list;
+      (** root spans, one per executed assignment; [[]] unless
+          [config.trace] *)
 }
 
+val step_seconds : run -> (string * float) list
+(** Simulated seconds per step — the shape of the old [step_seconds]
+    field. *)
+
 val pp_run : Format.formatter -> run -> unit
+
+val run_json : run -> string
+(** The whole run as a JSON object — strategy, wall seconds, failure,
+    totals, per-step reports (with span trees), root spans. *)
 
 (** {2 Compilation} *)
 

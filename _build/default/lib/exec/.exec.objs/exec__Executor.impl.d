@@ -1,1 +1,1 @@
-lib/exec/executor.ml: Array Config Dataset Hashtbl List Nrc Option Plan Printf Set Stats String
+lib/exec/executor.ml: Array Config Dataset Hashtbl List Nrc Option Plan Printf Set Stats String Trace

@@ -1,1 +1,1 @@
-lib/exec/executor.mli: Config Dataset Hashtbl Nrc Plan Stats
+lib/exec/executor.mli: Config Dataset Hashtbl Nrc Plan Stats Trace

@@ -1,0 +1,1 @@
+lib/exec/trace.ml: Array Buffer Char Float Fmt Fun List Printf String

@@ -19,7 +19,12 @@
       resident bytes checked against the memory budget (raising
       {!Stats.Worker_out_of_memory}, the paper's FAIL entries), and a
       simulated time accumulating per-stage maxima over partitions, which is
-      where load imbalance shows. *)
+      where load imbalance shows.
+
+    When a {!Trace.ctx} is supplied, every operator dispatch opens a span
+    and all accounting is mirrored into the innermost open span, producing
+    the per-operator span tree {!Trace} documents; the untraced path takes
+    the [None] fast path everywhere. *)
 
 module V = Nrc.Value
 module S = Plan.Sexpr
@@ -62,7 +67,13 @@ type rset = {
          something to alter the key") *)
 }
 
-type state = { cfg : Config.t; opts : options; stats : Stats.t; env : env }
+type state = {
+  cfg : Config.t;
+  opts : options;
+  stats : Stats.t;
+  trace : Trace.ctx option;
+  env : env;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Accounting *)
@@ -71,6 +82,15 @@ let part_bytes (parts : Row.t array array) : int array =
   Array.map
     (fun p -> Array.fold_left (fun acc r -> acc + Row.byte_size r) 0 p)
     parts
+
+let rset_rows r =
+  Array.fold_left (fun acc p -> acc + Array.length p) 0 r.parts
+
+let trace_rows_in st rsets =
+  if st.trace <> None then
+    Trace.add st.trace
+      ~rows_in:(List.fold_left (fun acc r -> acc + rset_rows r) 0 rsets)
+      ()
 
 (* Charge one stage: per-worker residency check + simulated cpu time.
    [extra_per_worker] models broadcast copies resident on every worker. *)
@@ -90,8 +110,9 @@ let account st ~stage ?(extra_per_worker = 0) (input_bytes : int array list)
   List.iter add input_bytes;
   add out_bytes;
   let max_worker = Array.fold_left max 0 worker in
-  st.stats.Stats.peak_worker_bytes <-
-    max st.stats.Stats.peak_worker_bytes max_worker;
+  Stats.observe_worker st.stats max_worker;
+  Trace.observe_worker st.trace max_worker;
+  Trace.observe_partitions st.trace out_bytes;
   if max_worker > cfg.Config.worker_mem then
     raise
       (Stats.Worker_out_of_memory
@@ -107,12 +128,13 @@ let account st ~stage ?(extra_per_worker = 0) (input_bytes : int array list)
     in
     if b > !max_part then max_part := b
   done;
-  st.stats.Stats.sim_seconds <-
-    st.stats.Stats.sim_seconds
-    +. (float_of_int !max_part *. cfg.Config.cpu_weight);
-  st.stats.Stats.rows_processed <-
-    st.stats.Stats.rows_processed
-    + Array.fold_left (fun acc p -> acc + Array.length p) 0 output
+  let dt = float_of_int !max_part *. cfg.Config.cpu_weight in
+  Stats.add_sim_seconds st.stats dt;
+  let rows =
+    Array.fold_left (fun acc p -> acc + Array.length p) 0 output
+  in
+  Stats.add_rows st.stats rows;
+  Trace.add st.trace ~rows_out:rows ~sim_seconds:dt ()
 
 (* ------------------------------------------------------------------ *)
 (* Shuffling *)
@@ -121,49 +143,56 @@ let eval_keys row keys = List.map (S.eval row) keys
 
 (* Redistribute rows by key hash; counts shuffle bytes and simulated network
    time (bounded by the most-loaded receiving partition — the skew
-   bottleneck). *)
+   bottleneck). Emits its own trace span, so operators that avoid shuffling
+   (broadcast joins, guarantee-skipped joins) visibly have none. *)
 let shuffle st ?(stage = "shuffle") (r : rset) (keys : S.t list) : rset =
-  let cfg = st.cfg in
-  let n = cfg.Config.partitions in
-  let dest = Array.make n [] in
-  let received = Array.make n 0 in
-  let moved = ref 0 in
-  Array.iter
-    (fun part ->
+  Trace.with_span st.trace ~op:"Shuffle" ~stage (fun () ->
+      let cfg = st.cfg in
+      let n = cfg.Config.partitions in
+      let dest = Array.make n [] in
+      let received = Array.make n 0 in
+      let moved = ref 0 in
       Array.iter
-        (fun row ->
-          let p = hash_key (eval_keys row keys) mod n in
-          dest.(p) <- row :: dest.(p);
-          let b = Row.byte_size row in
-          moved := !moved + b;
-          received.(p) <- received.(p) + b)
-        part)
-    r.parts;
-  st.stats.Stats.shuffled_bytes <- st.stats.Stats.shuffled_bytes + !moved;
-  st.stats.Stats.stages <- st.stats.Stats.stages + 1;
-  let max_recv = Array.fold_left max 0 received in
-  st.stats.Stats.sim_seconds <-
-    st.stats.Stats.sim_seconds
-    +. (float_of_int max_recv *. cfg.Config.net_weight);
-  (* receiving workers must hold their partitions *)
-  let worker = Array.make cfg.Config.workers 0 in
-  Array.iteri
-    (fun p b ->
-      let w = Config.worker_of_partition cfg p in
-      worker.(w) <- worker.(w) + b)
-    received;
-  let max_worker = Array.fold_left max 0 worker in
-  st.stats.Stats.peak_worker_bytes <-
-    max st.stats.Stats.peak_worker_bytes max_worker;
-  if max_worker > cfg.Config.worker_mem then
-    raise
-      (Stats.Worker_out_of_memory
-         { stage; worker_bytes = max_worker; budget = cfg.Config.worker_mem });
-  {
-    parts = Array.map (fun l -> Array.of_list (List.rev l)) dest;
-    key = Some keys;
-    skew = None;
-  }
+        (fun part ->
+          Array.iter
+            (fun row ->
+              let p = hash_key (eval_keys row keys) mod n in
+              dest.(p) <- row :: dest.(p);
+              let b = Row.byte_size row in
+              moved := !moved + b;
+              received.(p) <- received.(p) + b)
+            part)
+        r.parts;
+      Stats.add_shuffled st.stats !moved;
+      Stats.add_stage st.stats;
+      let max_recv = Array.fold_left max 0 received in
+      let dt = float_of_int max_recv *. cfg.Config.net_weight in
+      Stats.add_sim_seconds st.stats dt;
+      Trace.add st.trace ~shuffled:!moved ~stages:1 ~sim_seconds:dt ();
+      Trace.observe_partitions st.trace received;
+      (* receiving workers must hold their partitions *)
+      let worker = Array.make cfg.Config.workers 0 in
+      Array.iteri
+        (fun p b ->
+          let w = Config.worker_of_partition cfg p in
+          worker.(w) <- worker.(w) + b)
+        received;
+      let max_worker = Array.fold_left max 0 worker in
+      Stats.observe_worker st.stats max_worker;
+      Trace.observe_worker st.trace max_worker;
+      if max_worker > cfg.Config.worker_mem then
+        raise
+          (Stats.Worker_out_of_memory
+             {
+               stage;
+               worker_bytes = max_worker;
+               budget = cfg.Config.worker_mem;
+             });
+      {
+        parts = Array.map (fun l -> Array.of_list (List.rev l)) dest;
+        key = Some keys;
+        skew = None;
+      })
 
 (* shuffle only if the guarantee does not already hold *)
 let ensure_partitioned st ?stage (r : rset) (keys : S.t list) : rset =
@@ -173,17 +202,26 @@ let ensure_partitioned st ?stage (r : rset) (keys : S.t list) : rset =
 
 (* gather everything to partition 0 (global aggregates) *)
 let gather st (r : rset) : rset =
-  let all =
-    Array.to_list r.parts |> List.concat_map Array.to_list
-  in
-  let bytes = List.fold_left (fun acc row -> acc + Row.byte_size row) 0 all in
-  st.stats.Stats.shuffled_bytes <- st.stats.Stats.shuffled_bytes + bytes;
-  st.stats.Stats.stages <- st.stats.Stats.stages + 1;
-  let parts = Array.make st.cfg.Config.partitions [||] in
-  parts.(0) <- Array.of_list all;
-  { parts; key = None; skew = None }
+  Trace.with_span st.trace ~op:"Gather" ~stage:"gather" (fun () ->
+      let all = Array.to_list r.parts |> List.concat_map Array.to_list in
+      let bytes =
+        List.fold_left (fun acc row -> acc + Row.byte_size row) 0 all
+      in
+      Stats.add_shuffled st.stats bytes;
+      Stats.add_stage st.stats;
+      Trace.add st.trace ~shuffled:bytes ~stages:1 ();
+      let parts = Array.make st.cfg.Config.partitions [||] in
+      parts.(0) <- Array.of_list all;
+      { parts; key = None; skew = None })
 
 let rset_total_bytes r = Array.fold_left ( + ) 0 (part_bytes r.parts)
+
+(* broadcast charge shared by broadcast joins, products, and the broadcast
+   cogroup: the right side is resident on every worker *)
+let charge_broadcast st rbytes =
+  let total = rbytes * st.cfg.Config.workers in
+  Stats.add_broadcast st.stats total;
+  Trace.add st.trace ~broadcast:total ()
 
 (* ------------------------------------------------------------------ *)
 (* Heavy-key detection (Section 5): per-partition sampling; a key is heavy
@@ -283,9 +321,10 @@ let join_partition ~lkey ~kind ~rcols (index : Row.t list ref KeyTbl.t)
 (* broadcast join: right side replicated to every worker *)
 let broadcast_join st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols :
     rset =
+  Trace.set_strategy st.trace Trace.Broadcast;
+  Trace.set_stage st.trace stage;
   let rbytes = rset_total_bytes r in
-  st.stats.Stats.broadcast_bytes <-
-    st.stats.Stats.broadcast_bytes + (rbytes * st.cfg.Config.workers);
+  charge_broadcast st rbytes;
   let all_right =
     Array.to_list r.parts |> List.concat_map Array.to_list |> Array.of_list
   in
@@ -298,6 +337,10 @@ let broadcast_join st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols :
 
 let shuffle_join st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols :
     rset =
+  Trace.set_strategy st.trace
+    (if l.key = Some lkey && r.key = Some rkey then Trace.Guarantee_skipped
+     else Trace.Shuffle);
+  Trace.set_stage st.trace stage;
   let l' = ensure_partitioned st ~stage l lkey in
   let r' = ensure_partitioned st ~stage r rkey in
   let out =
@@ -324,6 +367,9 @@ let skew_join st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols : rset =
     { (shuffle_join st ~stage l r ~lkey ~rkey ~kind ~rcols) with
       skew = Some (lkey, hk) }
   else begin
+    Trace.set_strategy st.trace
+      (Trace.Skew_split { heavy_keys = KeyTbl.length hk });
+    Trace.set_stage st.trace stage;
     let x_l, x_h = split_by_keys l lkey hk in
     let y_l, y_h = split_by_keys r rkey hk in
     let light = shuffle_join st ~stage:(stage ^ ":light") x_l y_l ~lkey ~rkey ~kind ~rcols in
@@ -357,6 +403,10 @@ let cols_subset exprs cols =
 
 let cogroup st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols ~keys
     ~item ~presence ~out : rset =
+  Trace.set_strategy st.trace
+    (if l.key = Some lkey && r.key = Some rkey then Trace.Guarantee_skipped
+     else Trace.Shuffle);
+  Trace.set_stage st.trace stage;
   let l' = ensure_partitioned st ~stage l lkey in
   let r' = ensure_partitioned st ~stage r rkey in
   let outp =
@@ -413,6 +463,9 @@ let map_parts st ~stage ?(key = fun k -> k) ?(keep_skew = false) f (r : rset)
 let next_id_base = ref 0
 
 let rec run (st : state) (op : Op.t) : rset =
+  Trace.with_span st.trace ~op:(Op.name op) (fun () -> exec st op)
+
+and exec (st : state) (op : Op.t) : rset =
   let cfg = st.cfg in
   match op with
   | Op.Nil _ ->
@@ -425,23 +478,30 @@ let rec run (st : state) (op : Op.t) : rset =
     match Hashtbl.find_opt st.env input with
     | None -> invalid_arg (Printf.sprintf "Executor: unknown input %S" input)
     | Some ds ->
-      {
-        parts =
-          Array.map (Array.map (fun v -> [ (binder, v) ])) ds.Dataset.parts;
-        key =
-          Option.map
-            (List.map (fun path -> S.Col (binder :: path)))
-            ds.Dataset.key;
-        skew = None;
-      })
+      Trace.set_stage st.trace input;
+      let r =
+        {
+          parts =
+            Array.map (Array.map (fun v -> [ (binder, v) ])) ds.Dataset.parts;
+          key =
+            Option.map
+              (List.map (fun path -> S.Col (binder :: path)))
+              ds.Dataset.key;
+          skew = None;
+        }
+      in
+      trace_rows_in st [ r ];
+      r)
   | Op.Select (p, child) ->
     let r = run st child in
+    trace_rows_in st [ r ];
     map_parts st ~stage:"select" ~keep_skew:true
       (fun part -> Array.of_list (List.filter (fun row -> S.eval_pred row p) (Array.to_list part)))
       r
       ~key:(fun k -> k)
   | Op.Project (fields, child) ->
     let r = run st child in
+    trace_rows_in st [ r ];
     let new_key =
       match r.key with
       | None -> None
@@ -462,6 +522,7 @@ let rec run (st : state) (op : Op.t) : rset =
   | Op.Join { left; right; lkey; rkey; kind } ->
     let l = run st left in
     let r = run st right in
+    trace_rows_in st [ l; r ];
     let rcols = Op.columns right in
     if st.opts.skew_aware then
       skew_join st ~stage:"join(skew)" l r ~lkey ~rkey ~kind ~rcols
@@ -471,9 +532,11 @@ let rec run (st : state) (op : Op.t) : rset =
   | Op.Product (left, right) ->
     let l = run st left in
     let r = run st right in
+    trace_rows_in st [ l; r ];
+    Trace.set_strategy st.trace Trace.Broadcast;
+    Trace.set_stage st.trace "product";
     let rbytes = rset_total_bytes r in
-    st.stats.Stats.broadcast_bytes <-
-      st.stats.Stats.broadcast_bytes + (rbytes * cfg.Config.workers);
+    charge_broadcast st rbytes;
     let all_right =
       Array.to_list r.parts |> List.concat_map Array.to_list
     in
@@ -492,6 +555,7 @@ let rec run (st : state) (op : Op.t) : rset =
     { parts = out; key = l.key; skew = None }
   | Op.Unnest { input; path; binder; outer; drop } ->
     let r = run st input in
+    trace_rows_in st [ r ];
     map_parts st ~stage:"unnest" ~keep_skew:true
       (fun part ->
         Array.of_list
@@ -507,6 +571,7 @@ let rec run (st : state) (op : Op.t) : rset =
       ~key:(fun k -> k)
   | Op.AddIndex { input; col } ->
     let r = run st input in
+    trace_rows_in st [ r ];
     incr next_id_base;
     let base = !next_id_base * (1 lsl 50) in
     let out =
@@ -527,12 +592,14 @@ let rec run (st : state) (op : Op.t) : rset =
          && cols_subset lkey (Op.columns left) ->
     let l = run st left in
     let r = run st right in
+    trace_rows_in st [ l; r ];
     let rcols = Op.columns right in
     if rset_total_bytes r <= cfg.Config.broadcast_limit then begin
       (* broadcast cogroup: no shuffle at all *)
+      Trace.set_strategy st.trace Trace.Broadcast;
+      Trace.set_stage st.trace "cogroup(broadcast)";
       let rbytes = rset_total_bytes r in
-      st.stats.Stats.broadcast_bytes <-
-        st.stats.Stats.broadcast_bytes + (rbytes * cfg.Config.workers);
+      charge_broadcast st rbytes;
       let all_right =
         Array.to_list r.parts |> List.concat_map Array.to_list |> Array.of_list
       in
@@ -585,6 +652,7 @@ let rec run (st : state) (op : Op.t) : rset =
         ~presence ~out
   | Op.NestBag { input; keys; agg_keys; item; presence; out } ->
     let r = run st input in
+    trace_rows_in st [ r ];
     let shuffle_keys = if keys = [] then agg_keys else keys in
     let r' =
       match shuffle_keys with
@@ -610,6 +678,7 @@ let rec run (st : state) (op : Op.t) : rset =
     }
   | Op.NestSum { input; keys; agg_keys; aggs; presence } ->
     let r = run st input in
+    trace_rows_in st [ r ];
     (* map-side combine (Spark partial aggregation): pre-aggregate each
        partition before shuffling, so Gamma-plus "mitigates skew-effects by
        default by reducing the values of all keys" (Section 5) *)
@@ -657,6 +726,7 @@ let rec run (st : state) (op : Op.t) : rset =
     }
   | Op.Dedup child ->
     let r = run st child in
+    trace_rows_in st [ r ];
     let cols = Op.columns child in
     let key_exprs = List.map (fun c -> S.Col [ c ]) cols in
     let r' = ensure_partitioned st ~stage:"dedup" r key_exprs in
@@ -672,6 +742,7 @@ let rec run (st : state) (op : Op.t) : rset =
   | Op.UnionAll (left, right) ->
     let l = run st left in
     let r = run st right in
+    trace_rows_in st [ l; r ];
     let cols = Op.columns left in
     let r_aligned =
       Array.map (Array.map (fun row -> Row.restrict cols row)) r.parts
@@ -681,6 +752,7 @@ let rec run (st : state) (op : Op.t) : rset =
       skew = None }
   | Op.BagToDict { input; label } ->
     let r = run st input in
+    trace_rows_in st [ r ];
     if st.opts.skew_aware then begin
       (* Figure 6: repartition only light labels; heavy labels stay put;
          the resulting dictionary is a skew-triple with known heavy keys *)
@@ -693,6 +765,8 @@ let rec run (st : state) (op : Op.t) : rset =
         { (shuffle st ~stage:"bag_to_dict" r [ label ]) with
           skew = Some ([ label ], hk) }
       else begin
+        Trace.set_strategy st.trace
+          (Trace.Skew_split { heavy_keys = KeyTbl.length hk });
         let light, heavy = split_by_keys r [ label ] hk in
         let light' = shuffle st ~stage:"bag_to_dict(light)" light [ label ] in
         union_parts ~skew:(Some ([ label ], hk)) light' heavy
@@ -728,19 +802,22 @@ let rset_to_dataset (cols : string list) (r : rset) : Dataset.t =
   { Dataset.parts = Array.map (Array.map to_value) r.parts; key }
 
 (** Execute one plan against named datasets; returns the result dataset. *)
-let run_plan ?(options = default_options) ~config ~stats (env : env)
+let run_plan ?(options = default_options) ?trace ~config ~stats (env : env)
     (plan : Op.t) : Dataset.t =
-  let st = { cfg = config; opts = options; stats; env } in
+  let st = { cfg = config; opts = options; stats; trace; env } in
   let r = run st plan in
   rset_to_dataset (Op.columns plan) r
 
 (** Execute a sequence of (name, plan) assignments, extending the
     environment; returns the final environment. *)
-let run_assignments ?(options = default_options) ~config ~stats (env : env)
-    (plans : (string * Op.t) list) : env =
+let run_assignments ?(options = default_options) ?trace ~config ~stats
+    (env : env) (plans : (string * Op.t) list) : env =
   List.iter
     (fun (name, plan) ->
-      let ds = run_plan ~options ~config ~stats env plan in
+      let ds =
+        Trace.with_span trace ~op:"Assignment" ~stage:name (fun () ->
+            run_plan ~options ?trace ~config ~stats env plan)
+      in
       Hashtbl.replace env name ds)
     plans;
   env

@@ -14,7 +14,10 @@
     - every operator is accounted: shuffled/broadcast bytes, per-worker
       residency checked against the budget (raising
       {!Stats.Worker_out_of_memory}), and simulated time from per-stage
-      maxima over partitions. *)
+      maxima over partitions;
+    - passing a {!Trace.ctx} additionally records a per-operator span tree
+      (one span per dispatched operator, shuffles as child spans) mirroring
+      every accounted quantity — the observability layer of {!Trace}. *)
 
 type options = {
   skew_aware : bool;  (** the skew-resilient operators of Section 5 *)
@@ -45,19 +48,24 @@ val rset_to_dataset : string list -> rset -> Dataset.t
 
 val run_plan :
   ?options:options ->
+  ?trace:Trace.ctx ->
   config:Config.t ->
   stats:Stats.t ->
   env ->
   Plan.Op.t ->
   Dataset.t
-(** Execute one plan against named datasets.
+(** Execute one plan against named datasets. With [?trace], the plan run
+    appears as one root span per top-level operator in the context.
     @raise Stats.Worker_out_of_memory when a worker exceeds its budget. *)
 
 val run_assignments :
   ?options:options ->
+  ?trace:Trace.ctx ->
   config:Config.t ->
   stats:Stats.t ->
   env ->
   (string * Plan.Op.t) list ->
   env
-(** Execute (name, plan) assignments in order, extending the environment. *)
+(** Execute (name, plan) assignments in order, extending the environment.
+    With [?trace], each assignment is wrapped in an ["Assignment"] span
+    whose stage is the assignment name. *)

@@ -1,7 +1,6 @@
-(** Execution metrics collected by the simulator: shuffled and broadcast
-    bytes, peak per-worker memory, and a simulated wall-clock built from
-    per-stage maxima (the slowest partition bounds the stage, which is what
-    makes skew visible). *)
+(** Execution metrics collected by the simulator; see stats.mli. The record
+    is mutable internally but opaque to consumers, who read through the
+    accessors or an immutable {!snapshot}. *)
 
 type t = {
   mutable shuffled_bytes : int;
@@ -12,6 +11,15 @@ type t = {
   mutable sim_seconds : float;
 }
 
+type snapshot = {
+  shuffled_bytes : int;
+  broadcast_bytes : int;
+  peak_worker_bytes : int;
+  rows_processed : int;
+  stages : int;
+  sim_seconds : float;
+}
+
 exception
   Worker_out_of_memory of {
     stage : string;
@@ -19,7 +27,7 @@ exception
     budget : int;
   }
 
-let create () =
+let create () : t =
   {
     shuffled_bytes = 0;
     broadcast_bytes = 0;
@@ -29,7 +37,42 @@ let create () =
     sim_seconds = 0.;
   }
 
-let add (a : t) (b : t) : t =
+let shuffled_bytes (s : t) = s.shuffled_bytes
+let broadcast_bytes (s : t) = s.broadcast_bytes
+let peak_worker_bytes (s : t) = s.peak_worker_bytes
+let rows_processed (s : t) = s.rows_processed
+let stages (s : t) = s.stages
+let sim_seconds (s : t) = s.sim_seconds
+let add_shuffled (s : t) n = s.shuffled_bytes <- s.shuffled_bytes + n
+let add_broadcast (s : t) n = s.broadcast_bytes <- s.broadcast_bytes + n
+let add_rows (s : t) n = s.rows_processed <- s.rows_processed + n
+let add_stage (s : t) = s.stages <- s.stages + 1
+let add_sim_seconds (s : t) dt = s.sim_seconds <- s.sim_seconds +. dt
+
+let observe_worker (s : t) bytes =
+  s.peak_worker_bytes <- max s.peak_worker_bytes bytes
+
+let snapshot (s : t) : snapshot =
+  {
+    shuffled_bytes = s.shuffled_bytes;
+    broadcast_bytes = s.broadcast_bytes;
+    peak_worker_bytes = s.peak_worker_bytes;
+    rows_processed = s.rows_processed;
+    stages = s.stages;
+    sim_seconds = s.sim_seconds;
+  }
+
+let diff (a : snapshot) (b : snapshot) : snapshot =
+  {
+    shuffled_bytes = a.shuffled_bytes - b.shuffled_bytes;
+    broadcast_bytes = a.broadcast_bytes - b.broadcast_bytes;
+    peak_worker_bytes = a.peak_worker_bytes;
+    rows_processed = a.rows_processed - b.rows_processed;
+    stages = a.stages - b.stages;
+    sim_seconds = a.sim_seconds -. b.sim_seconds;
+  }
+
+let merge (a : snapshot) (b : snapshot) : snapshot =
   {
     shuffled_bytes = a.shuffled_bytes + b.shuffled_bytes;
     broadcast_bytes = a.broadcast_bytes + b.broadcast_bytes;
@@ -39,11 +82,39 @@ let add (a : t) (b : t) : t =
     sim_seconds = a.sim_seconds +. b.sim_seconds;
   }
 
-let pp ppf (s : t) =
+let zero : snapshot =
+  {
+    shuffled_bytes = 0;
+    broadcast_bytes = 0;
+    peak_worker_bytes = 0;
+    rows_processed = 0;
+    stages = 0;
+    sim_seconds = 0.;
+  }
+
+let pp_counts ppf (shuffled, broadcast, peak, rows, stages, sim) =
   Fmt.pf ppf
     "shuffle=%.1fMB broadcast=%.1fMB peak_worker=%.1fMB rows=%d stages=%d \
      sim=%.2fs"
-    (float_of_int s.shuffled_bytes /. 1048576.)
-    (float_of_int s.broadcast_bytes /. 1048576.)
-    (float_of_int s.peak_worker_bytes /. 1048576.)
-    s.rows_processed s.stages s.sim_seconds
+    (float_of_int shuffled /. 1048576.)
+    (float_of_int broadcast /. 1048576.)
+    (float_of_int peak /. 1048576.)
+    rows stages sim
+
+let pp ppf (s : t) =
+  pp_counts ppf
+    ( s.shuffled_bytes,
+      s.broadcast_bytes,
+      s.peak_worker_bytes,
+      s.rows_processed,
+      s.stages,
+      s.sim_seconds )
+
+let pp_snapshot ppf (s : snapshot) =
+  pp_counts ppf
+    ( s.shuffled_bytes,
+      s.broadcast_bytes,
+      s.peak_worker_bytes,
+      s.rows_processed,
+      s.stages,
+      s.sim_seconds )

@@ -1,15 +1,24 @@
 (** Execution metrics collected by the simulator: shuffled and broadcast
     bytes, peak per-worker residency, and a simulated wall-clock built from
     per-stage maxima over partitions (which is where skew and load
-    imbalance appear). *)
+    imbalance appear).
 
-type t = {
-  mutable shuffled_bytes : int;
-  mutable broadcast_bytes : int;
-  mutable peak_worker_bytes : int;
-  mutable rows_processed : int;
-  mutable stages : int;  (** shuffle boundaries *)
-  mutable sim_seconds : float;
+    The counter set is mutable but opaque: the executor feeds it through the
+    [add_*]/[observe_*] entry points, and consumers read it through the
+    accessors or grab an immutable {!snapshot}. Per-step slices are computed
+    with {!snapshot} + {!diff} instead of threading deltas by hand. *)
+
+type t
+(** Mutable counter set, one per run. *)
+
+(** Immutable copy of the counters at one instant. *)
+type snapshot = {
+  shuffled_bytes : int;
+  broadcast_bytes : int;
+  peak_worker_bytes : int;
+  rows_processed : int;
+  stages : int;  (** shuffle boundaries *)
+  sim_seconds : float;
 }
 
 exception
@@ -23,5 +32,41 @@ exception
     failed run). *)
 
 val create : unit -> t
-val add : t -> t -> t
+
+(** {2 Accessors} *)
+
+val shuffled_bytes : t -> int
+val broadcast_bytes : t -> int
+val peak_worker_bytes : t -> int
+val rows_processed : t -> int
+val stages : t -> int
+val sim_seconds : t -> float
+
+(** {2 Recording (executor side)} *)
+
+val add_shuffled : t -> int -> unit
+val add_broadcast : t -> int -> unit
+val add_rows : t -> int -> unit
+val add_stage : t -> unit
+val add_sim_seconds : t -> float -> unit
+
+val observe_worker : t -> int -> unit
+(** Raise the peak per-worker residency high-water mark. *)
+
+(** {2 Snapshots} *)
+
+val snapshot : t -> snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff after before]: additive counters subtract; [peak_worker_bytes]
+    keeps [after]'s value (the peak is a run-wide high-water mark, so a
+    slice reports the peak reached by the end of its step). *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Pointwise sum; [peak_worker_bytes] merges by [max]. Replaces the old
+    [Stats.add] for aggregating slices back into totals. *)
+
+val zero : snapshot
+
 val pp : Format.formatter -> t -> unit
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,288 @@
+(** Span-tree execution tracing; see trace.mli for the model. *)
+
+type join_strategy =
+  | Broadcast
+  | Shuffle
+  | Guarantee_skipped
+  | Skew_split of { heavy_keys : int }
+
+let strategy_name = function
+  | Broadcast -> "broadcast"
+  | Shuffle -> "shuffle"
+  | Guarantee_skipped -> "guarantee-skipped"
+  | Skew_split { heavy_keys } -> Printf.sprintf "skew-split(%d)" heavy_keys
+
+type metrics = {
+  shuffled_bytes : int;
+  broadcast_bytes : int;
+  rows_in : int;
+  rows_out : int;
+  stages : int;
+  max_partition_bytes : int;
+  sum_partition_bytes : int;
+  partitions : int;
+  peak_worker_bytes : int;
+  sim_seconds : float;
+}
+
+let zero_metrics =
+  {
+    shuffled_bytes = 0;
+    broadcast_bytes = 0;
+    rows_in = 0;
+    rows_out = 0;
+    stages = 0;
+    max_partition_bytes = 0;
+    sum_partition_bytes = 0;
+    partitions = 0;
+    peak_worker_bytes = 0;
+    sim_seconds = 0.;
+  }
+
+let merge_metrics a b =
+  {
+    shuffled_bytes = a.shuffled_bytes + b.shuffled_bytes;
+    broadcast_bytes = a.broadcast_bytes + b.broadcast_bytes;
+    rows_in = a.rows_in + b.rows_in;
+    rows_out = a.rows_out + b.rows_out;
+    stages = a.stages + b.stages;
+    max_partition_bytes = max a.max_partition_bytes b.max_partition_bytes;
+    sum_partition_bytes = a.sum_partition_bytes + b.sum_partition_bytes;
+    partitions = a.partitions + b.partitions;
+    peak_worker_bytes = max a.peak_worker_bytes b.peak_worker_bytes;
+    sim_seconds = a.sim_seconds +. b.sim_seconds;
+  }
+
+let mean_partition_bytes m =
+  if m.partitions = 0 then 0.
+  else float_of_int m.sum_partition_bytes /. float_of_int m.partitions
+
+let load_imbalance m =
+  let mean = mean_partition_bytes m in
+  if mean <= 0. then 1. else float_of_int m.max_partition_bytes /. mean
+
+type span = {
+  id : int;
+  op : string;
+  stage : string;
+  strategy : join_strategy option;
+  metrics : metrics;
+  children : span list;
+}
+
+let rec total sp =
+  List.fold_left
+    (fun acc c -> merge_metrics acc (total c))
+    sp.metrics sp.children
+
+let agg spans =
+  List.fold_left (fun acc sp -> merge_metrics acc (total sp)) zero_metrics spans
+
+let find_all pred spans =
+  let rec go acc sp =
+    let acc = if pred sp then sp :: acc else acc in
+    List.fold_left go acc sp.children
+  in
+  List.rev (List.fold_left go [] spans)
+
+(* ------------------------------------------------------------------ *)
+(* Recording *)
+
+type node = {
+  nid : int;
+  nop : string;
+  mutable nstage : string;
+  mutable nstrategy : join_strategy option;
+  mutable nm : metrics;
+  mutable nchildren : node list; (* reversed *)
+}
+
+type ctx = {
+  mutable stack : node list; (* innermost first *)
+  mutable croots : node list; (* reversed *)
+  mutable next_id : int;
+}
+
+let create () = { stack = []; croots = []; next_id = 0 }
+
+let rec freeze (n : node) : span =
+  {
+    id = n.nid;
+    op = n.nop;
+    stage = n.nstage;
+    strategy = n.nstrategy;
+    metrics = n.nm;
+    children = List.rev_map freeze n.nchildren;
+  }
+
+let roots ctx = List.rev_map freeze ctx.croots
+let last_root ctx = match ctx.croots with [] -> None | n :: _ -> Some (freeze n)
+
+let with_span octx ~op ?(stage = "") f =
+  match octx with
+  | None -> f ()
+  | Some ctx ->
+    let n =
+      {
+        nid = ctx.next_id;
+        nop = op;
+        nstage = stage;
+        nstrategy = None;
+        nm = zero_metrics;
+        nchildren = [];
+      }
+    in
+    ctx.next_id <- ctx.next_id + 1;
+    ctx.stack <- n :: ctx.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match ctx.stack with
+        | top :: rest when top == n -> ctx.stack <- rest
+        | _ -> ());
+        match ctx.stack with
+        | parent :: _ -> parent.nchildren <- n :: parent.nchildren
+        | [] -> ctx.croots <- n :: ctx.croots)
+      f
+
+let on_top octx f =
+  match octx with
+  | None -> ()
+  | Some ctx -> ( match ctx.stack with [] -> () | n :: _ -> f n)
+
+let set_stage octx stage =
+  on_top octx (fun n -> if n.nstage = "" then n.nstage <- stage)
+
+let set_strategy octx s =
+  on_top octx (fun n ->
+      match n.nstrategy with None -> n.nstrategy <- Some s | Some _ -> ())
+
+let add octx ?(shuffled = 0) ?(broadcast = 0) ?(rows_in = 0) ?(rows_out = 0)
+    ?(stages = 0) ?(sim_seconds = 0.) () =
+  on_top octx (fun n ->
+      n.nm <-
+        {
+          n.nm with
+          shuffled_bytes = n.nm.shuffled_bytes + shuffled;
+          broadcast_bytes = n.nm.broadcast_bytes + broadcast;
+          rows_in = n.nm.rows_in + rows_in;
+          rows_out = n.nm.rows_out + rows_out;
+          stages = n.nm.stages + stages;
+          sim_seconds = n.nm.sim_seconds +. sim_seconds;
+        })
+
+let observe_partitions octx (bytes : int array) =
+  on_top octx (fun n ->
+      let mx = Array.fold_left max 0 bytes in
+      let sum = Array.fold_left ( + ) 0 bytes in
+      n.nm <-
+        {
+          n.nm with
+          max_partition_bytes = max n.nm.max_partition_bytes mx;
+          sum_partition_bytes = n.nm.sum_partition_bytes + sum;
+          partitions = n.nm.partitions + Array.length bytes;
+        })
+
+let observe_worker octx bytes =
+  on_top octx (fun n ->
+      n.nm <-
+        { n.nm with peak_worker_bytes = max n.nm.peak_worker_bytes bytes })
+
+let group ~op ~stage children =
+  { id = -1; op; stage; strategy = None; metrics = zero_metrics; children }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let pp_bytes ppf b =
+  if b >= 1048576 then Fmt.pf ppf "%.2fMB" (float_of_int b /. 1048576.)
+  else if b >= 1024 then Fmt.pf ppf "%.1fKB" (float_of_int b /. 1024.)
+  else Fmt.pf ppf "%dB" b
+
+let pp_metrics ppf m =
+  Fmt.pf ppf "shuffle=%a bcast=%a rows=%d/%d peak=%a imbal=%.1f sim=%.4fs"
+    pp_bytes m.shuffled_bytes pp_bytes m.broadcast_bytes m.rows_in m.rows_out
+    pp_bytes m.peak_worker_bytes (load_imbalance m) m.sim_seconds
+
+let pp_tree ppf sp =
+  let rec go indent sp =
+    let t = total sp in
+    Fmt.pf ppf "%s%s%s%s  [%a]@." indent sp.op
+      (if sp.stage = "" then "" else Printf.sprintf " (%s)" sp.stage)
+      (match sp.strategy with
+      | None -> ""
+      | Some s -> Printf.sprintf " <%s>" (strategy_name s))
+      pp_metrics t;
+    List.iter (go (indent ^ "  ")) sp.children
+  in
+  go "" sp
+
+(* Hand-rolled JSON (no JSON dependency in the toolchain image). *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let json_float f =
+  (* JSON has no nan/inf; clamp to null-safe zero *)
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "0"
+
+let buffer_metrics b m =
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"rows_in\":%d,\"rows_out\":%d,\"stages\":%d,\"max_partition_bytes\":%d,\"mean_partition_bytes\":%s,\"peak_worker_bytes\":%d,\"load_imbalance\":%s,\"sim_seconds\":%s}"
+       m.shuffled_bytes m.broadcast_bytes m.rows_in m.rows_out m.stages
+       m.max_partition_bytes
+       (json_float (mean_partition_bytes m))
+       m.peak_worker_bytes
+       (json_float (load_imbalance m))
+       (json_float m.sim_seconds))
+
+let rec buffer_json b sp =
+  Buffer.add_string b (Printf.sprintf "{\"id\":%d,\"op\":\"" sp.id);
+  json_escape b sp.op;
+  Buffer.add_string b "\",\"stage\":\"";
+  json_escape b sp.stage;
+  Buffer.add_string b "\",\"strategy\":";
+  (match sp.strategy with
+  | None -> Buffer.add_string b "null"
+  | Some s ->
+    Buffer.add_char b '"';
+    json_escape b (strategy_name s);
+    Buffer.add_char b '"');
+  Buffer.add_string b ",\"metrics\":";
+  buffer_metrics b sp.metrics;
+  Buffer.add_string b ",\"total\":";
+  buffer_metrics b (total sp);
+  Buffer.add_string b ",\"children\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char b ',';
+      buffer_json b c)
+    sp.children;
+  Buffer.add_string b "]}"
+
+let to_json sp =
+  let b = Buffer.create 1024 in
+  buffer_json b sp;
+  Buffer.contents b
+
+let spans_json spans =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i sp ->
+      if i > 0 then Buffer.add_char b ',';
+      buffer_json b sp)
+    spans;
+  Buffer.add_char b ']';
+  Buffer.contents b

@@ -1,0 +1,140 @@
+(** Per-operator execution tracing: a span tree per plan run.
+
+    Every operator the executor dispatches opens a {!span}; accounting
+    (shuffled and broadcast bytes, rows, per-partition load, per-worker
+    residency, simulated seconds) is charged to the innermost open span, so
+    the tree answers the questions the flat {!Stats.t} totals cannot: which
+    join shuffled the bytes, where a worker saturated, and which strategy
+    (broadcast, shuffle, guarantee-skipped, skew-split) each join picked —
+    the per-stage attribution the paper uses to explain its Section 5–6
+    results.
+
+    Shuffles appear as their own child spans ([op = "Shuffle"]), so a
+    broadcast join carries zero shuffled bytes of its own and a
+    guarantee-skipped join has no shuffle child at all.
+
+    Tracing is opt-in: every recording entry point takes a [ctx option] and
+    is a no-op on [None], keeping the untraced path allocation-free. *)
+
+(** How a join (or cogroup) moved its inputs. *)
+type join_strategy =
+  | Broadcast  (** right side replicated to every worker *)
+  | Shuffle  (** both sides hash-partitioned on the join key *)
+  | Guarantee_skipped
+      (** both sides already carried the needed partitioning guarantee: no
+          data moved (Section 4's label guarantee at work) *)
+  | Skew_split of { heavy_keys : int }
+      (** Figure 6: light keys shuffled, heavy keys kept in place with
+          broadcast partners; [heavy_keys] is the detected heavy-key count *)
+
+val strategy_name : join_strategy -> string
+
+(** Metrics charged directly to one span (exclusive of children). Partition
+    load is tracked as (max, sum, count) over the per-partition output bytes
+    of the span's stages, which makes skew visible as [max_partition_bytes]
+    far above the mean. *)
+type metrics = {
+  shuffled_bytes : int;
+  broadcast_bytes : int;
+  rows_in : int;
+  rows_out : int;
+  stages : int;  (** shuffle boundaries crossed *)
+  max_partition_bytes : int;
+  sum_partition_bytes : int;
+  partitions : int;  (** partitions observed (for the mean) *)
+  peak_worker_bytes : int;
+  sim_seconds : float;
+}
+
+val zero_metrics : metrics
+
+val merge_metrics : metrics -> metrics -> metrics
+(** Pointwise sum; [max_partition_bytes] and [peak_worker_bytes] merge by
+    [max]. *)
+
+val mean_partition_bytes : metrics -> float
+
+val load_imbalance : metrics -> float
+(** [max_partition_bytes /. mean_partition_bytes]; [1.0] when no partitions
+    were observed. The paper's load-imbalance factor. *)
+
+type span = {
+  id : int;  (** unique within one [ctx], in open order *)
+  op : string;  (** operator name ({!Plan.Op.name}) or synthetic label *)
+  stage : string;  (** executor stage detail, e.g. ["join(broadcast)"] *)
+  strategy : join_strategy option;  (** join spans only *)
+  metrics : metrics;  (** exclusive of children *)
+  children : span list;  (** in execution order *)
+}
+
+val total : span -> metrics
+(** Inclusive metrics: [metrics] merged with every descendant's. *)
+
+val agg : span list -> metrics
+(** [merge_metrics] over the inclusive totals of a span forest. *)
+
+val find_all : (span -> bool) -> span list -> span list
+(** All spans (depth-first) in a forest satisfying the predicate. *)
+
+(** {2 Recording} *)
+
+type ctx
+
+val create : unit -> ctx
+
+val roots : ctx -> span list
+(** Completed top-level spans, in completion order. *)
+
+val last_root : ctx -> span option
+
+val with_span : ctx option -> op:string -> ?stage:string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a fresh child span of the innermost open span. The
+    span is closed (and kept) even if the thunk raises, so traces survive
+    mid-run memory failures. On [None] this is just [f ()]. *)
+
+val set_stage : ctx option -> string -> unit
+(** Set the innermost open span's stage label. The first write wins, so a
+    skew-split join's light/heavy sub-stages don't overwrite the join's own
+    label. *)
+
+val set_strategy : ctx option -> join_strategy -> unit
+(** Record the innermost open span's join strategy. The first write wins:
+    a skew-split join's light/heavy sub-joins do not overwrite it. *)
+
+val add :
+  ctx option ->
+  ?shuffled:int ->
+  ?broadcast:int ->
+  ?rows_in:int ->
+  ?rows_out:int ->
+  ?stages:int ->
+  ?sim_seconds:float ->
+  unit ->
+  unit
+(** Charge counters to the innermost open span. *)
+
+val observe_partitions : ctx option -> int array -> unit
+(** Record one stage's per-partition output bytes (feeds max/sum/count). *)
+
+val observe_worker : ctx option -> int -> unit
+(** Record a per-worker residency high-water mark. *)
+
+val group : op:string -> stage:string -> span list -> span
+(** Synthetic parent span (zero own metrics) over existing spans — used by
+    {!Trance.Api} to group one step's assignment spans. *)
+
+(** {2 Rendering} *)
+
+val pp_metrics : Format.formatter -> metrics -> unit
+
+val pp_tree : Format.formatter -> span -> unit
+(** Indented per-operator tree with inclusive metrics per line. *)
+
+val buffer_json : Buffer.t -> span -> unit
+
+val to_json : span -> string
+(** Span tree as a JSON object: [{"id", "op", "stage", "strategy",
+    "metrics" (exclusive), "total" (inclusive), "children"}]. *)
+
+val spans_json : span list -> string
+(** JSON array of {!to_json} objects. *)

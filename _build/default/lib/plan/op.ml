@@ -110,6 +110,22 @@ let rec inputs = function
   | BagToDict { input; _ } ->
     inputs input
 
+let name = function
+  | Nil _ -> "Nil"
+  | UnitRow -> "UnitRow"
+  | Scan _ -> "Scan"
+  | Select _ -> "Select"
+  | Project _ -> "Project"
+  | Join _ -> "Join"
+  | Product _ -> "Product"
+  | Unnest _ -> "Unnest"
+  | AddIndex _ -> "AddIndex"
+  | NestBag _ -> "NestBag"
+  | NestSum _ -> "NestSum"
+  | Dedup _ -> "Dedup"
+  | UnionAll _ -> "UnionAll"
+  | BagToDict _ -> "BagToDict"
+
 let children = function
   | Nil _ | UnitRow | Scan _ -> []
   | Select (_, c) | Project (_, c) | Dedup c -> [ c ]

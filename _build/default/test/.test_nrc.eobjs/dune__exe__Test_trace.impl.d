@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Exec Fixtures Float List Nrc Plan Printf String Trance

@@ -105,7 +105,9 @@ let strategy_tests =
               (fun () ->
                 let r = run_strategy strategy q in
                 (match r.Trance.Api.failure with
-                | Some f -> Alcotest.failf "%s failed: %s" sname f
+                | Some f ->
+                  Alcotest.failf "%s failed: %s" sname
+                    (Trance.Api.failure_message f)
                 | None -> ());
                 Fixtures.check_bag_equal
                   (Printf.sprintf "%s/%s" name sname)
@@ -118,7 +120,9 @@ let strategy_tests =
                 let config = { api_config with skew_aware = true } in
                 let r = run_strategy ~config strategy q in
                 (match r.Trance.Api.failure with
-                | Some f -> Alcotest.failf "%s failed: %s" sname f
+                | Some f ->
+                  Alcotest.failf "%s failed: %s" sname
+                    (Trance.Api.failure_message f)
                 | None -> ());
                 Fixtures.check_bag_equal
                   (Printf.sprintf "%s/%s skew" name sname)
@@ -169,7 +173,7 @@ let test_heavy_keys () =
   Fixtures.check_bag_equal "skew join result" expected
     (Option.get r.Trance.Api.value);
   check "heavy path broadcasts something" true
-    (r.Trance.Api.stats.Exec.Stats.broadcast_bytes > 0)
+    (Exec.Stats.broadcast_bytes r.Trance.Api.stats > 0)
 
 let test_skew_join_less_imbalance () =
   (* with a heavy key, the skew-aware join must shuffle less than the
@@ -206,8 +210,8 @@ let test_skew_join_less_imbalance () =
        (Option.get plain.Trance.Api.value)
        (Option.get skewed.Trance.Api.value));
   check "skew-aware shuffles less" true
-    (skewed.Trance.Api.stats.Exec.Stats.shuffled_bytes
-    < plain.Trance.Api.stats.Exec.Stats.shuffled_bytes)
+    (Exec.Stats.shuffled_bytes skewed.Trance.Api.stats
+    < Exec.Stats.shuffled_bytes plain.Trance.Api.stats)
 
 (* ------------------------------------------------------------------ *)
 (* Partition and sampling invariants (property tests) *)
@@ -286,9 +290,9 @@ let test_heavy_key_detection_bounds () =
   in
   let r_skew = run skewed and r_uni = run uniform in
   check "heavy key triggers broadcast path" true
-    (r_skew.Trance.Api.stats.Exec.Stats.broadcast_bytes > 0);
+    (Exec.Stats.broadcast_bytes r_skew.Trance.Api.stats > 0);
   check "uniform data uses no heavy path" true
-    (r_uni.Trance.Api.stats.Exec.Stats.broadcast_bytes = 0)
+    (Exec.Stats.broadcast_bytes r_uni.Trance.Api.stats = 0)
 
 (* ------------------------------------------------------------------ *)
 (* Memory budget: FAIL reproduction *)
@@ -329,10 +333,10 @@ let test_broadcast_decision () =
   check "results agree" true
     (V.approx_bag_equal (Option.get r_b.Trance.Api.value) (Option.get r_s.Trance.Api.value));
   check "broadcast mode broadcasts" true
-    (r_b.Trance.Api.stats.Exec.Stats.broadcast_bytes > 0);
+    (Exec.Stats.broadcast_bytes r_b.Trance.Api.stats > 0);
   check "shuffle mode shuffles more" true
-    (r_s.Trance.Api.stats.Exec.Stats.shuffled_bytes
-    > r_b.Trance.Api.stats.Exec.Stats.shuffled_bytes)
+    (Exec.Stats.shuffled_bytes r_s.Trance.Api.stats
+    > Exec.Stats.shuffled_bytes r_b.Trance.Api.stats)
 
 (* ------------------------------------------------------------------ *)
 (* Shredded route shuffles less than standard on nested-to-nested *)
@@ -356,8 +360,8 @@ let test_shred_shuffles_less () =
   check "both succeed" true
     (std.Trance.Api.failure = None && shred.Trance.Api.failure = None);
   check "shred shuffles no more than standard" true
-    (shred.Trance.Api.stats.Exec.Stats.shuffled_bytes
-    <= std.Trance.Api.stats.Exec.Stats.shuffled_bytes)
+    (Exec.Stats.shuffled_bytes shred.Trance.Api.stats
+    <= Exec.Stats.shuffled_bytes std.Trance.Api.stats)
 
 let () =
   Alcotest.run "exec"

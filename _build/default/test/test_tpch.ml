@@ -41,7 +41,8 @@ let cell_test ~wide ~family ~level ~db () =
     Trance.Api.run ~config:api_config ~strategy:Trance.Api.Standard prog inputs
   in
   (match std.Trance.Api.failure with
-  | Some f -> Alcotest.failf "standard failed: %s" f
+  | Some f ->
+    Alcotest.failf "standard failed: %s" (Trance.Api.failure_message f)
   | None -> ());
   Fixtures.check_bag_equal "standard" expected (Option.get std.Trance.Api.value);
   let shred =
@@ -50,7 +51,8 @@ let cell_test ~wide ~family ~level ~db () =
       prog inputs
   in
   (match shred.Trance.Api.failure with
-  | Some f -> Alcotest.failf "shredded failed: %s" f
+  | Some f ->
+    Alcotest.failf "shredded failed: %s" (Trance.Api.failure_message f)
   | None -> ());
   Fixtures.check_bag_equal "shredded" expected
     (Option.get shred.Trance.Api.value)

@@ -1,0 +1,390 @@
+(** Tests for the execution-tracing subsystem: span-tree invariants
+    (children aggregate into their parent, broadcast joins move no shuffle
+    bytes of their own, guarantee-skipped joins emit no shuffle span at
+    all), agreement between aggregated span metrics and the flat
+    {!Exec.Stats} totals, per-step report slices merging back to the run
+    totals, and JSON export sanity. *)
+
+module B = Nrc.Builder
+module V = Nrc.Value
+module S = Plan.Sexpr
+module Op = Plan.Op
+module Trace = Exec.Trace
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cluster = { Exec.Config.unbounded with partitions = 7; workers = 3 }
+let api_config = { Trance.Api.default_config with cluster; trace = true }
+
+let run_traced ?(config = api_config) strategy q =
+  let prog = Nrc.Program.of_expr ~inputs:Fixtures.inputs_ty ~name:"Q" q in
+  Trance.Api.run ~config ~strategy prog Fixtures.inputs_val
+
+let close a b =
+  Float.abs (a -. b) <= 1e-6 *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+(* ------------------------------------------------------------------ *)
+(* Aggregated span metrics = flat Stats totals *)
+
+let check_totals what (r : Trance.Api.run) =
+  check (what ^ ": spans recorded") true (r.Trance.Api.trace <> []);
+  let t = Trace.agg r.Trance.Api.trace in
+  let s = r.Trance.Api.stats in
+  check_int (what ^ ": shuffled bytes") (Exec.Stats.shuffled_bytes s)
+    t.Trace.shuffled_bytes;
+  check_int (what ^ ": broadcast bytes") (Exec.Stats.broadcast_bytes s)
+    t.Trace.broadcast_bytes;
+  check_int (what ^ ": peak worker bytes") (Exec.Stats.peak_worker_bytes s)
+    t.Trace.peak_worker_bytes;
+  check_int (what ^ ": stages") (Exec.Stats.stages s) t.Trace.stages;
+  check_int (what ^ ": rows") (Exec.Stats.rows_processed s) t.Trace.rows_out;
+  check (what ^ ": sim seconds") true
+    (close (Exec.Stats.sim_seconds s) t.Trace.sim_seconds)
+
+(* Children's inclusive totals never exceed the parent's, at every level. *)
+let rec check_span_sums what (sp : Trace.span) =
+  let t = Trace.total sp in
+  let kids = Trace.agg sp.Trace.children in
+  check (what ^ ": child shuffle <= parent") true
+    (kids.Trace.shuffled_bytes <= t.Trace.shuffled_bytes);
+  check (what ^ ": child broadcast <= parent") true
+    (kids.Trace.broadcast_bytes <= t.Trace.broadcast_bytes);
+  check (what ^ ": child peak <= parent") true
+    (kids.Trace.peak_worker_bytes <= t.Trace.peak_worker_bytes);
+  check (what ^ ": child sim <= parent") true
+    (kids.Trace.sim_seconds <= t.Trace.sim_seconds +. 1e-9);
+  List.iter (check_span_sums what) sp.Trace.children
+
+(* Joins that chose broadcast move no shuffle bytes of their own and never
+   open a direct shuffle span. *)
+let check_broadcast_joins what (r : Trance.Api.run) =
+  let bjoins =
+    Trace.find_all
+      (fun sp -> sp.Trace.strategy = Some Trace.Broadcast)
+      r.Trance.Api.trace
+  in
+  List.iter
+    (fun (sp : Trace.span) ->
+      check_int (what ^ ": broadcast join own shuffle") 0
+        sp.Trace.metrics.Trace.shuffled_bytes;
+      check (what ^ ": broadcast join has no shuffle child") true
+        (List.for_all
+           (fun (c : Trace.span) -> c.Trace.op <> "Shuffle")
+           sp.Trace.children))
+    bjoins
+
+let strategies =
+  [
+    Trance.Api.Standard;
+    Trance.Api.Shredded { unshred = true };
+    Trance.Api.SparkSQL_proxy;
+  ]
+
+let invariant_tests =
+  List.concat_map
+    (fun (name, q) ->
+      List.map
+        (fun strategy ->
+          let sname = Trance.Api.strategy_name strategy in
+          let what = Printf.sprintf "%s [%s]" name sname in
+          Alcotest.test_case what `Quick (fun () ->
+              let r = run_traced strategy q in
+              check (what ^ ": no failure") true (r.Trance.Api.failure = None);
+              check_totals what r;
+              List.iter (check_span_sums what) r.Trance.Api.trace;
+              check_broadcast_joins what r))
+        strategies)
+    Fixtures.corpus
+
+(* ------------------------------------------------------------------ *)
+(* Strategy recording on hand-built join plans *)
+
+let keyed_bag n =
+  V.Bag
+    (List.init n (fun i -> V.Tuple [ ("k", V.Int (i mod 5)); ("v", V.Int i) ]))
+
+let join_plan =
+  Op.Join
+    {
+      left = Op.Scan { input = "L"; binder = "x" };
+      right = Op.Scan { input = "R"; binder = "y" };
+      lkey = [ S.Col [ "x"; "k" ] ];
+      rkey = [ S.Col [ "y"; "k" ] ];
+      kind = Op.Inner;
+    }
+
+let exec_traced ~config env plan =
+  let stats = Exec.Stats.create () in
+  let ctx = Trace.create () in
+  let ds = Exec.Executor.run_plan ~trace:ctx ~config ~stats env plan in
+  ignore ds;
+  (stats, Trace.roots ctx)
+
+let test_guarantee_skipped () =
+  (* both sides pre-partitioned on the join key and broadcast disabled: the
+     join must record Guarantee_skipped and no bytes may move *)
+  let mk v = Exec.Dataset.of_bag_by ~partitions:7 ~key:[ [ "k" ] ] v in
+  let env =
+    Exec.Executor.env_of_list
+      [ ("L", mk (keyed_bag 40)); ("R", mk (keyed_bag 25)) ]
+  in
+  let config = { cluster with Exec.Config.broadcast_limit = 0 } in
+  let stats, roots = exec_traced ~config env join_plan in
+  let joins =
+    Trace.find_all
+      (fun sp -> sp.Trace.strategy = Some Trace.Guarantee_skipped)
+      roots
+  in
+  check_int "one guarantee-skipped join" 1 (List.length joins);
+  let j = List.hd joins in
+  check "no shuffle span under the join" true
+    (Trace.find_all (fun sp -> sp.Trace.op = "Shuffle") [ j ] = []);
+  check_int "no shuffled bytes in the subtree" 0
+    (Trace.total j).Trace.shuffled_bytes;
+  check_int "flat stats agree" 0 (Exec.Stats.shuffled_bytes stats)
+
+let test_shuffle_strategy () =
+  (* unpartitioned inputs with broadcast disabled: the join must shuffle,
+     recording Shuffle child spans that carry all the moved bytes *)
+  let mk v = Exec.Dataset.of_bag ~partitions:7 v in
+  let env =
+    Exec.Executor.env_of_list
+      [ ("L", mk (keyed_bag 40)); ("R", mk (keyed_bag 25)) ]
+  in
+  let config = { cluster with Exec.Config.broadcast_limit = 0 } in
+  let stats, roots = exec_traced ~config env join_plan in
+  let joins =
+    Trace.find_all (fun sp -> sp.Trace.strategy = Some Trace.Shuffle) roots
+  in
+  check_int "one shuffle join" 1 (List.length joins);
+  let j = List.hd joins in
+  let shuffles = Trace.find_all (fun sp -> sp.Trace.op = "Shuffle") [ j ] in
+  check "shuffle spans present" true (shuffles <> []);
+  check_int "join's own shuffled bytes are zero (children carry them)" 0
+    j.Trace.metrics.Trace.shuffled_bytes;
+  check_int "shuffle spans carry the full total"
+    (Exec.Stats.shuffled_bytes stats)
+    (Trace.agg shuffles).Trace.shuffled_bytes
+
+let test_broadcast_strategy () =
+  (* a small right side under a generous broadcast limit: Broadcast, with
+     zero shuffled bytes anywhere under the join *)
+  let env =
+    Exec.Executor.env_of_list
+      [
+        ("L", Exec.Dataset.of_bag ~partitions:7 (keyed_bag 200));
+        ("R", Exec.Dataset.of_bag ~partitions:7 (keyed_bag 10));
+      ]
+  in
+  let stats, roots = exec_traced ~config:cluster env join_plan in
+  let joins =
+    Trace.find_all (fun sp -> sp.Trace.strategy = Some Trace.Broadcast) roots
+  in
+  check_int "one broadcast join" 1 (List.length joins);
+  let j = List.hd joins in
+  check "broadcast bytes recorded" true
+    ((Trace.total j).Trace.broadcast_bytes > 0);
+  check_int "flat stats agree" (Exec.Stats.broadcast_bytes stats)
+    (Trace.total j).Trace.broadcast_bytes;
+  check "no hash-shuffle span under a broadcast join" true
+    (Trace.find_all (fun sp -> sp.Trace.op = "Shuffle") [ j ] = [])
+
+let test_skew_split_recorded () =
+  (* one key owning 70% of a large input, skew-aware mode on: some join must
+     record the Skew_split strategy with a positive heavy-key count *)
+  let rows =
+    List.init 1000 (fun i ->
+        V.Tuple
+          [ ("k", V.Int (if i mod 10 < 7 then 999 else i)); ("v", V.Int i) ])
+  in
+  let small =
+    List.init 50 (fun i ->
+        V.Tuple [ ("k", V.Int (if i = 0 then 999 else i)); ("w", V.Int i) ])
+  in
+  let tenv =
+    [
+      ("R", Nrc.Types.(bag (tuple [ ("k", int_); ("v", int_) ])));
+      ("Sm", Nrc.Types.(bag (tuple [ ("k", int_); ("w", int_) ])));
+    ]
+  in
+  let q =
+    B.(
+      for_ "x" (input "R") (fun x ->
+          for_ "y" (input "Sm") (fun y ->
+              where (x #. "k" == y #. "k")
+                (sng (record [ ("v", x #. "v"); ("w", y #. "w") ])))))
+  in
+  let config =
+    {
+      api_config with
+      skew_aware = true;
+      cluster = { cluster with broadcast_limit = 1 };
+    }
+  in
+  let r =
+    Trance.Api.run ~config ~strategy:Trance.Api.Standard
+      (Nrc.Program.of_expr ~inputs:tenv ~name:"Q" q)
+      [ ("R", V.Bag rows); ("Sm", V.Bag small) ]
+  in
+  check "no failure" true (r.Trance.Api.failure = None);
+  let splits =
+    Trace.find_all
+      (fun sp ->
+        match sp.Trace.strategy with
+        | Some (Trace.Skew_split { heavy_keys }) -> heavy_keys > 0
+        | _ -> false)
+      r.Trance.Api.trace
+  in
+  check "skew-split join recorded" true (splits <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Step reports *)
+
+let test_step_reports_merge () =
+  let r = run_traced (Trance.Api.Shredded { unshred = true }) Fixtures.example1 in
+  check "no failure" true (r.Trance.Api.failure = None);
+  check "at least two steps (query + Unshred)" true
+    (List.length r.Trance.Api.steps >= 2);
+  check "every step carries its span tree" true
+    (List.for_all
+       (fun (s : Trance.Api.step_report) -> s.Trance.Api.trace <> None)
+       r.Trance.Api.steps);
+  let merged =
+    List.fold_left
+      (fun acc (s : Trance.Api.step_report) ->
+        Exec.Stats.merge acc s.Trance.Api.stats)
+      Exec.Stats.zero r.Trance.Api.steps
+  in
+  let s = Exec.Stats.snapshot r.Trance.Api.stats in
+  check_int "merged shuffle = total" s.Exec.Stats.shuffled_bytes
+    merged.Exec.Stats.shuffled_bytes;
+  check_int "merged broadcast = total" s.Exec.Stats.broadcast_bytes
+    merged.Exec.Stats.broadcast_bytes;
+  check_int "merged stages = total" s.Exec.Stats.stages
+    merged.Exec.Stats.stages;
+  check_int "merged peak = total" s.Exec.Stats.peak_worker_bytes
+    merged.Exec.Stats.peak_worker_bytes;
+  check "merged sim = total" true
+    (close s.Exec.Stats.sim_seconds merged.Exec.Stats.sim_seconds);
+  check "step_seconds compat helper matches" true
+    (List.for_all2
+       (fun (name, t) (s : Trance.Api.step_report) ->
+         name = s.Trance.Api.step && t = s.Trance.Api.sim_seconds)
+       (Trance.Api.step_seconds r)
+       r.Trance.Api.steps)
+
+let test_trace_survives_oom () =
+  (* the FAIL case still reports the partial step slices and spans *)
+  let config =
+    { api_config with cluster = { cluster with worker_mem = 512 } }
+  in
+  let r = run_traced ~config Trance.Api.Standard Fixtures.example1 in
+  check "failure reported" true (r.Trance.Api.failure <> None);
+  (match r.Trance.Api.failure with
+  | Some (Trance.Api.Out_of_memory { worker_bytes; budget; _ }) ->
+    check "overflow exceeds budget" true (worker_bytes > budget);
+    check_int "budget is the configured one" 512 budget
+  | _ -> Alcotest.fail "expected Out_of_memory");
+  check "spans survive the failure" true (r.Trance.Api.trace <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Stats snapshot/diff/merge *)
+
+let test_snapshot_diff () =
+  let s = Exec.Stats.create () in
+  Exec.Stats.add_shuffled s 100;
+  Exec.Stats.observe_worker s 400;
+  let before = Exec.Stats.snapshot s in
+  Exec.Stats.add_shuffled s 20;
+  Exec.Stats.add_broadcast s 7;
+  Exec.Stats.add_stage s;
+  Exec.Stats.add_rows s 5;
+  Exec.Stats.add_sim_seconds s 0.25;
+  Exec.Stats.observe_worker s 300;
+  let slice = Exec.Stats.diff (Exec.Stats.snapshot s) before in
+  check_int "diff shuffled" 20 slice.Exec.Stats.shuffled_bytes;
+  check_int "diff broadcast" 7 slice.Exec.Stats.broadcast_bytes;
+  check_int "diff stages" 1 slice.Exec.Stats.stages;
+  check_int "diff rows" 5 slice.Exec.Stats.rows_processed;
+  check "diff sim" true (slice.Exec.Stats.sim_seconds = 0.25);
+  (* the peak is a run-wide high-water mark: the slice keeps after's *)
+  check_int "diff peak" 400 slice.Exec.Stats.peak_worker_bytes;
+  let m = Exec.Stats.merge before slice in
+  check_int "merge shuffled" 120 m.Exec.Stats.shuffled_bytes;
+  check_int "merge peak (max)" 400 m.Exec.Stats.peak_worker_bytes
+
+(* ------------------------------------------------------------------ *)
+(* JSON export *)
+
+let balanced str =
+  let depth = ref 0 and ok = ref true and in_str = ref false in
+  let prev = ref ' ' in
+  String.iter
+    (fun c ->
+      (if !in_str then (if c = '"' && !prev <> '\\' then in_str := false)
+       else
+         match c with
+         | '"' -> in_str := true
+         | '{' | '[' -> incr depth
+         | '}' | ']' ->
+           decr depth;
+           if !depth < 0 then ok := false
+         | _ -> ());
+      (* a backslash escaping a backslash must not escape the next char *)
+      prev := (if !prev = '\\' && c = '\\' then ' ' else c))
+    str;
+  !ok && !depth = 0 && not !in_str
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_json_export () =
+  let r = run_traced (Trance.Api.Shredded { unshred = true }) Fixtures.example1 in
+  let j = Trance.Api.run_json r in
+  check "run json is brace-balanced" true (balanced j);
+  List.iter
+    (fun key ->
+      check ("run json has " ^ key) true (contains j ("\"" ^ key ^ "\":")))
+    [ "strategy"; "wall_seconds"; "failure"; "totals"; "steps"; "trace" ];
+  match r.Trance.Api.trace with
+  | [] -> Alcotest.fail "no spans"
+  | sp :: _ ->
+    let sj = Trace.to_json sp in
+    check "span json is brace-balanced" true (balanced sj);
+    List.iter
+      (fun key ->
+        check ("span json has " ^ key) true (contains sj ("\"" ^ key ^ "\":")))
+      [ "id"; "op"; "stage"; "strategy"; "metrics"; "total"; "children" ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ("span invariants (corpus)", invariant_tests);
+      ( "join strategies",
+        [
+          Alcotest.test_case "guarantee-skipped: no shuffle span" `Quick
+            test_guarantee_skipped;
+          Alcotest.test_case "shuffle: child spans carry the bytes" `Quick
+            test_shuffle_strategy;
+          Alcotest.test_case "broadcast: zero shuffled bytes" `Quick
+            test_broadcast_strategy;
+          Alcotest.test_case "skew-split recorded" `Quick
+            test_skew_split_recorded;
+        ] );
+      ( "step reports",
+        [
+          Alcotest.test_case "slices merge to totals" `Quick
+            test_step_reports_merge;
+          Alcotest.test_case "trace survives OOM" `Quick
+            test_trace_survives_oom;
+        ] );
+      ( "stats snapshots",
+        [ Alcotest.test_case "snapshot/diff/merge" `Quick test_snapshot_diff ] );
+      ( "json",
+        [ Alcotest.test_case "export sanity" `Quick test_json_export ] );
+    ]

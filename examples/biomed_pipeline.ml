@@ -23,7 +23,7 @@ let () =
       Fmt.pr "=== %s ===@.%a@." r.Trance.Api.strategy Trance.Api.pp_run r;
       List.iter
         (fun (step, t) -> Fmt.pr "  %-8s %.4f sim s@." step t)
-        r.Trance.Api.step_seconds;
+        (Trance.Api.step_seconds r);
       (match r.Trance.Api.value with
       | Some v when Nrc.Value.approx_bag_equal v reference ->
         Fmt.pr "  final report matches the reference (%d genes)@.@."

@@ -75,6 +75,10 @@ type t =
           identity, but establishes the label partitioning guarantee during
           distributed execution (Section 4) *)
 
+val name : t -> string
+(** Constructor name of the root operator ("Join", "NestBag", ...): the
+    stable operator identifier used by execution-trace spans. *)
+
 val columns : t -> string list
 (** Output column names, in order. *)
 

@@ -51,7 +51,7 @@ let agree_strategy strategy () =
     Trance.Api.run ~config:api_config ~strategy Biomed.Pipeline.program inputs
   in
   (match r.Trance.Api.failure with
-  | Some f -> Alcotest.failf "failed: %s" f
+  | Some f -> Alcotest.failf "failed: %s" (Trance.Api.failure_message f)
   | None -> ());
   Fixtures.check_bag_equal "E2E result" expected (Option.get r.Trance.Api.value)
 
@@ -66,7 +66,7 @@ let test_per_step_prefixes () =
           prog inputs
       in
       (match r.Trance.Api.failure with
-      | Some f -> Alcotest.failf "%s failed: %s" name f
+      | Some f -> Alcotest.failf "%s failed: %s" name (Trance.Api.failure_message f)
       | None -> ());
       Fixtures.check_bag_equal name expected (Option.get r.Trance.Api.value))
     Biomed.Pipeline.prefix_programs
@@ -115,8 +115,8 @@ let test_step2_explosion_shape () =
   check "both succeed (unbounded memory)" true
     (std.Trance.Api.failure = None && shred.Trance.Api.failure = None);
   check "standard needs more worker memory on the E2E pipeline" true
-    (shred.Trance.Api.stats.Exec.Stats.peak_worker_bytes
-    < std.Trance.Api.stats.Exec.Stats.peak_worker_bytes)
+    (Exec.Stats.peak_worker_bytes shred.Trance.Api.stats
+    < Exec.Stats.peak_worker_bytes std.Trance.Api.stats)
 
 let () =
   Alcotest.run "biomed"
