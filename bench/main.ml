@@ -11,6 +11,8 @@
       full and small synthetic datasets with per-step times;
     - [ablate]: ablations of the design choices DESIGN.md calls out
       (domain elimination, cogroup fusion, aggregation pushdown);
+    - [faults]: recovery overhead of each injectable fault (worker crash,
+      task failure, fetch failure, straggler) per strategy;
     - [micro]: Bechamel micro-benchmarks of core primitives.
 
     Absolute numbers are simulator output; the paper-vs-measured *shape*
@@ -415,6 +417,72 @@ let cost_model () =
   Printf.printf "ranking agreement: %d/%d cells\n" !agree !total
 
 (* ------------------------------------------------------------------ *)
+(* Recovery overhead: each injectable fault vs the clean run, per
+   strategy. The clean answer never changes (the differential suite checks
+   that); this measures what recovery costs in simulated time and bytes. *)
+
+let faults_sweep () =
+  Printf.printf
+    "\n=== Fault recovery overhead: nested-to-nested L2, one fault/run ===\n";
+  let family = Tpch.Queries.Nested_to_nested and level = 2 in
+  let prog = Tpch.Queries.program ~wide:false ~family ~level () in
+  let db = Tpch.Generator.generate (tpch_scale ()) in
+  let inputs = Tpch.Queries.input_values ~wide:false ~family ~level db in
+  let base = base_config ~default_mem:10000. () in
+  let fault_specs =
+    [
+      ("none", None);
+      ("crash:stage=1", Some (Exec.Faults.default_spec Exec.Faults.Worker_crash));
+      ( "task:stage=1,fails=2",
+        Some
+          { (Exec.Faults.default_spec Exec.Faults.Task_failure) with
+            Exec.Faults.stage = 1;
+            fails = 2 } );
+      ( "fetch:stage=1,fails=2",
+        Some
+          { (Exec.Faults.default_spec Exec.Faults.Fetch_failure) with
+            Exec.Faults.stage = 1;
+            fails = 2 } );
+      ( "straggler:stage=1,mult=8",
+        Some
+          { (Exec.Faults.default_spec Exec.Faults.Straggler) with
+            Exec.Faults.stage = 1 } );
+    ]
+  in
+  Printf.printf "%-16s %-26s %9s %9s %7s %7s %10s  %s\n" "strategy" "fault"
+    "sim(s)" "overhead" "retries" "spec" "recompKB" "outcome";
+  Printf.printf "%s\n" (String.make 100 '-');
+  List.iter
+    (fun strategy ->
+      let clean = ref 0. in
+      List.iter
+        (fun (fname, spec) ->
+          let config = { base with Trance.Api.faults = spec } in
+          let label =
+            Printf.sprintf "%s/%s" (Trance.Api.strategy_name strategy) fname
+          in
+          let r = api_run ~label ~config ~strategy prog inputs in
+          let s = r.Trance.Api.stats in
+          let sim = Exec.Stats.sim_seconds s in
+          if spec = None then clean := sim;
+          let overhead =
+            if spec = None || !clean <= 0. then "-"
+            else Printf.sprintf "%+.1f%%" ((sim /. !clean -. 1.) *. 100.)
+          in
+          Printf.printf "%-16s %-26s %9.4f %9s %7d %7d %10.1f  %s\n"
+            r.Trance.Api.strategy fname sim overhead
+            (Exec.Stats.task_retries s)
+            (Exec.Stats.speculative_tasks s)
+            (float_of_int (Exec.Stats.recomputed_bytes s) /. 1024.)
+            (Trance.Api.outcome_name (Trance.Api.outcome r)))
+        fault_specs)
+    [
+      Trance.Api.Standard;
+      Trance.Api.Shredded { unshred = false };
+      Trance.Api.Shredded { unshred = true };
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
 
 let micro () =
@@ -483,6 +551,7 @@ let all_targets =
     ("ablate", ablate);
     ("scaling", scaling);
     ("cost_model", cost_model);
+    ("faults", faults_sweep);
     ("micro", micro);
   ]
 
@@ -548,7 +617,7 @@ let targets_arg =
         ~doc:
           "Benchmark targets to run, in order (default: all). Available: \
            fig7_narrow, fig7_wide, fig8_skew, fig9_biomed, ablate, scaling, \
-           cost_model, micro.")
+           cost_model, faults, micro.")
 
 let main scale mem json ts =
   scale_factor := scale;

@@ -90,10 +90,26 @@ let json_arg =
           "Write the full run report (totals, per-step stats slices, span \
            trees) as JSON to FILE. Implies tracing.")
 
-let api_config ~mem ~skew_aware ?(trace = false) () =
+let inject_arg =
+  let parse s = Result.map_error (fun m -> `Msg m) (Exec.Faults.spec_of_string s) in
+  let print ppf sp = Fmt.string ppf (Exec.Faults.spec_to_string sp) in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "inject" ] ~docv:"FAULT"
+        ~doc:
+          "Inject one deterministic fault into the run and recover from it \
+           Spark-style. Syntax: crash:stage=2, task:stage=1,fails=2, \
+           fetch:stage=3, straggler:stage=1,mult=8, \
+           memsqueeze:stage=0,factor=0.25. Recovery cost (retries, \
+           speculative tasks, recomputed bytes) shows in the stats and the \
+           trace.")
+
+let api_config ~mem ~skew_aware ?(trace = false) ?faults () =
   { Trance.Api.default_config with
     skew_aware;
     trace;
+    faults;
     cluster =
       { Exec.Config.default with
         worker_mem = int_of_float (mem *. 1048576.) };
@@ -173,16 +189,31 @@ let explain_cmd =
 (* ------------------------------------------------------------------ *)
 (* run: execute one cell on the simulator *)
 
+let print_outcome (r : Trance.Api.run) =
+  match Trance.Api.outcome r with
+  | Trance.Api.Degraded ->
+    let s = r.Trance.Api.stats in
+    Fmt.pr
+      "recovered from injected fault: %d retries, %d retried tasks, %d \
+       speculative, %.1fKB recomputed@."
+      (Exec.Stats.task_retries s)
+      (Exec.Stats.retried_tasks s)
+      (Exec.Stats.speculative_tasks s)
+      (float_of_int (Exec.Stats.recomputed_bytes s) /. 1024.)
+  | Trance.Api.Completed | Trance.Api.Failed -> ()
+
 let run_cell family level wide skew customers strategy skew_aware mem trace
-    json =
+    json inject =
   let db = make_db ~customers ~skew in
   let prog = Tpch.Queries.program ~wide ~family ~level () in
   let inputs = Tpch.Queries.input_values ~wide ~family ~level db in
   let config =
-    api_config ~mem ~skew_aware ~trace:(trace || json <> None) ()
+    api_config ~mem ~skew_aware ~trace:(trace || json <> None) ?faults:inject
+      ()
   in
   let r = Trance.Api.run ~config ~strategy prog inputs in
   Fmt.pr "%a@." Trance.Api.pp_run r;
+  print_outcome r;
   if trace then print_trace r;
   Option.iter (fun path -> write_json path r) json;
   (match r.Trance.Api.value, strategy with
@@ -205,7 +236,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a TPC-H query cell on the cluster simulator.")
     Term.(
       const run_cell $ family_arg $ level_arg $ wide_arg $ skew_arg $ scale_arg
-      $ strategy_arg $ skew_aware_arg $ mem_arg $ trace_arg $ json_arg)
+      $ strategy_arg $ skew_aware_arg $ mem_arg $ trace_arg $ json_arg
+      $ inject_arg)
 
 (* ------------------------------------------------------------------ *)
 (* biomed: the E2E pipeline *)
@@ -213,17 +245,19 @@ let run_cmd =
 let small_arg =
   Arg.(value & flag & info [ "small" ] ~doc:"Use the small dataset variant.")
 
-let run_biomed strategy skew_aware mem small trace json =
+let run_biomed strategy skew_aware mem small trace json inject =
   let scale =
     if small then Biomed.Generator.small_scale else Biomed.Generator.full_scale
   in
   let db = Biomed.Generator.generate scale in
   let inputs = Biomed.Generator.inputs db in
   let config =
-    api_config ~mem ~skew_aware ~trace:(trace || json <> None) ()
+    api_config ~mem ~skew_aware ~trace:(trace || json <> None) ?faults:inject
+      ()
   in
   let r = Trance.Api.run ~config ~strategy Biomed.Pipeline.program inputs in
   Fmt.pr "%a@." Trance.Api.pp_run r;
+  print_outcome r;
   List.iter
     (fun (s : Trance.Api.step_report) ->
       Fmt.pr "  %-8s %.4f sim s [%a]@." s.Trance.Api.step
@@ -238,7 +272,7 @@ let biomed_cmd =
     (Cmd.info "biomed" ~doc:"Run the biomedical E2E pipeline (Figure 9).")
     Term.(
       const run_biomed $ strategy_arg $ skew_aware_arg $ mem_arg $ small_arg
-      $ trace_arg $ json_arg)
+      $ trace_arg $ json_arg $ inject_arg)
 
 (* ------------------------------------------------------------------ *)
 (* query: parse and run a textual NRC query against generated TPC-H data *)

@@ -42,6 +42,7 @@ type config = {
   materializer : Materialize.config;
   collect : bool; (* gather the result value back to the driver *)
   trace : bool; (* record per-operator execution span trees *)
+  faults : Exec.Faults.spec option; (* inject one fault per run *)
 }
 
 let default_config =
@@ -53,17 +54,23 @@ let default_config =
     materializer = Materialize.default;
     collect = true;
     trace = false;
+    faults = None;
   }
 
 type failure =
   | Out_of_memory of { stage : string; worker_bytes : int; budget : int }
       (** a worker exceeded its budget at [stage] — the paper's FAIL *)
+  | Task_failed of { stage : string; partition : int; attempts : int }
+      (** an injected task failure exhausted its attempt budget *)
   | Error of string
 
 let failure_message = function
   | Out_of_memory { stage; worker_bytes; budget } ->
     Printf.sprintf "%s: %dMB > %dMB" stage (worker_bytes / 1048576)
       (budget / 1048576)
+  | Task_failed { stage; partition; attempts } ->
+    Printf.sprintf "%s: task on partition %d abandoned after %d attempts"
+      stage partition attempts
   | Error msg -> msg
 
 let pp_failure ppf f = Fmt.string ppf (failure_message f)
@@ -90,6 +97,27 @@ type run = {
 }
 
 let step_seconds r = List.map (fun s -> (s.step, s.sim_seconds)) r.steps
+
+(** How the run ended, Spark-style: [Degraded] means faults were recovered
+    (retries, speculation, recomputation) but the answer is still the
+    reference answer; [Failed] means a typed failure surfaced. *)
+type outcome = Completed | Degraded | Failed
+
+let outcome_name = function
+  | Completed -> "completed"
+  | Degraded -> "degraded"
+  | Failed -> "failed"
+
+let outcome (r : run) : outcome =
+  match r.failure with
+  | Some _ -> Failed
+  | None ->
+    if
+      Exec.Stats.task_retries r.stats > 0
+      || Exec.Stats.speculative_tasks r.stats > 0
+      || Exec.Stats.recomputed_bytes r.stats > 0
+    then Degraded
+    else Completed
 
 (* attribute an assignment name to its source step: Step1_D_genes -> Step1 *)
 let step_of_target targets name =
@@ -141,22 +169,31 @@ let reports_of (acc : step_acc) : step_report list =
     acc
 
 (* run assignments one at a time, slicing the stats (and trace) per step *)
-let run_steps ~options ~config ~stats ~trace ~targets ~steps_out env plans =
+let run_steps ~options ~config ~stats ~trace ~faults ~targets ~steps_out env
+    plans =
   List.iter
     (fun (name, plan) ->
       let before = Exec.Stats.snapshot stats in
       let ds =
         try
           Exec.Trace.with_span trace ~op:"Assignment" ~stage:name (fun () ->
-              Exec.Executor.run_plan ~options ?trace ~config ~stats env plan)
-        with Exec.Stats.Worker_out_of_memory w ->
-          (* attribute the failure to its source step; the partially filled
-             step slice is still recorded for the failure report *)
+              Exec.Executor.run_plan ~options ?trace ?faults ~config ~stats
+                env plan)
+        with
+        (* attribute the failure to its source step; the partially filled
+           step slice is still recorded for the failure report *)
+        | Exec.Stats.Worker_out_of_memory w ->
           record_step ~stats ~trace ~before
             ~step:(step_of_target targets name) steps_out;
           raise
             (Exec.Stats.Worker_out_of_memory
                { w with stage = step_of_target targets name ^ "/" ^ w.stage })
+        | Exec.Faults.Task_abandoned a ->
+          record_step ~stats ~trace ~before
+            ~step:(step_of_target targets name) steps_out;
+          raise
+            (Exec.Faults.Task_abandoned
+               { a with stage = step_of_target targets name ^ "/" ^ a.stage })
       in
       Hashtbl.replace env name ds;
       record_step ~stats ~trace ~before ~step:(step_of_target targets name)
@@ -177,10 +214,12 @@ let pp_run ppf r =
 
 let snapshot_json (s : Exec.Stats.snapshot) =
   Printf.sprintf
-    "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"peak_worker_bytes\":%d,\"rows_processed\":%d,\"stages\":%d,\"sim_seconds\":%.6g}"
+    "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"peak_worker_bytes\":%d,\"rows_processed\":%d,\"stages\":%d,\"sim_seconds\":%.6g,\"task_retries\":%d,\"retried_tasks\":%d,\"speculative_tasks\":%d,\"recomputed_bytes\":%d}"
     s.Exec.Stats.shuffled_bytes s.Exec.Stats.broadcast_bytes
     s.Exec.Stats.peak_worker_bytes s.Exec.Stats.rows_processed
-    s.Exec.Stats.stages s.Exec.Stats.sim_seconds
+    s.Exec.Stats.stages s.Exec.Stats.sim_seconds s.Exec.Stats.task_retries
+    s.Exec.Stats.retried_tasks s.Exec.Stats.speculative_tasks
+    s.Exec.Stats.recomputed_bytes
 
 let json_string b s =
   Buffer.add_char b '"';
@@ -201,6 +240,8 @@ let run_json (r : run) : string =
   Buffer.add_string b "{\"strategy\":";
   json_string b r.strategy;
   Buffer.add_string b (Printf.sprintf ",\"wall_seconds\":%.6g" r.wall_seconds);
+  Buffer.add_string b ",\"outcome\":";
+  json_string b (outcome_name (outcome r));
   Buffer.add_string b ",\"failure\":";
   (match r.failure with
   | None -> Buffer.add_string b "null"
@@ -356,14 +397,26 @@ let catch_oom f =
   | v -> (Some v, None)
   | exception Exec.Stats.Worker_out_of_memory { stage; worker_bytes; budget } ->
     (None, Some (Out_of_memory { stage; worker_bytes; budget }))
+  | exception Exec.Faults.Task_abandoned { stage; partition; attempts } ->
+    (None, Some (Task_failed { stage; partition; attempts }))
 
 (** Run a program with the given strategy; never raises on memory
     exhaustion. *)
 let run ?(config = default_config) ~(strategy : strategy)
     (p : Nrc.Program.t) (input_values : (string * V.t) list) : run =
+  (* AddIndex ids and label sites feed partition assignment: reset both so
+     identical runs (and fault-injection replays) are bit-for-bit
+     deterministic *)
+  Exec.Executor.reset_ids ();
+  Shred_type.reset_sites ();
   let stats = Exec.Stats.create () in
   let trace = if config.trace then Some (Exec.Trace.create ()) else None in
   let cluster = config.cluster in
+  let faults =
+    Option.map
+      (Exec.Faults.make ~seed:cluster.Exec.Config.seed)
+      config.faults
+  in
   let exec_options =
     {
       Exec.Executor.skew_aware = config.skew_aware;
@@ -407,7 +460,7 @@ let run ?(config = default_config) ~(strategy : strategy)
       timed (fun () ->
           catch_oom (fun () ->
               run_steps ~options:exec_options ~config:cluster ~stats ~trace
-                ~targets ~steps_out env plans;
+                ~faults ~targets ~steps_out env plans;
               if config.collect then
                 Some (Exec.Dataset.to_bag (Hashtbl.find env result_name))
               else None))
@@ -423,7 +476,7 @@ let run ?(config = default_config) ~(strategy : strategy)
       timed (fun () ->
           catch_oom (fun () ->
               run_steps ~options:exec_options ~config:cluster ~stats ~trace
-                ~targets ~steps_out env compiled.plans;
+                ~faults ~targets ~steps_out env compiled.plans;
               match unshred, compiled.unshred_plan with
               | true, Some uplan ->
                 let before = Exec.Stats.snapshot stats in
@@ -431,7 +484,7 @@ let run ?(config = default_config) ~(strategy : strategy)
                   Exec.Trace.with_span trace ~op:"Assignment" ~stage:"Unshred"
                     (fun () ->
                       Exec.Executor.run_plan ~options:exec_options ?trace
-                        ~config:cluster ~stats env uplan)
+                        ?faults ~config:cluster ~stats env uplan)
                 in
                 record_step ~stats ~trace ~before ~step:"Unshred" steps_out;
                 if config.collect then Some (Exec.Dataset.to_bag ds) else None

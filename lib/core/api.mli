@@ -35,10 +35,13 @@ type config = {
   materializer : Materialize.config;
   collect : bool;  (** gather the result back to the driver *)
   trace : bool;  (** record per-operator execution span trees *)
+  faults : Exec.Faults.spec option;
+      (** inject one deterministic fault per run (seeded from
+          [cluster.seed]); recovery cost shows in the stats and trace *)
 }
 
 val default_config : config
-(** Tracing off. *)
+(** Tracing off, no faults. *)
 
 (** {2 Reporting} *)
 
@@ -46,6 +49,10 @@ type failure =
   | Out_of_memory of { stage : string; worker_bytes : int; budget : int }
       (** a worker exceeded its budget at [stage] (prefixed with the source
           step, e.g. ["Step2/unnest"]) — the paper's FAIL *)
+  | Task_failed of { stage : string; partition : int; attempts : int }
+      (** an injected task failure exhausted
+          {!Exec.Config.t.max_task_attempts}: the run fails typed rather
+          than returning a wrong answer *)
   | Error of string
 
 val failure_message : failure -> string
@@ -82,6 +89,14 @@ type run = {
 val step_seconds : run -> (string * float) list
 (** Simulated seconds per step — the shape of the old [step_seconds]
     field. *)
+
+(** How the run ended. [Degraded]: one or more faults were recovered
+    (retries, speculation, recomputation) and the answer is still correct.
+    [Failed]: a typed failure surfaced. *)
+type outcome = Completed | Degraded | Failed
+
+val outcome : run -> outcome
+val outcome_name : outcome -> string
 
 val pp_run : Format.formatter -> run -> unit
 

@@ -57,6 +57,13 @@ let input_site base path =
     Hashtbl.replace input_sites key s;
     s
 
+(* label identities feed hash partitioning, so repeated compiles in one
+   process would otherwise place dictionary rows differently run to run *)
+let reset_sites () =
+  site_counter := 0;
+  Hashtbl.reset site_names;
+  Hashtbl.reset input_sites
+
 (* ------------------------------------------------------------------ *)
 (* T^F *)
 

@@ -32,6 +32,11 @@ val site_description : int -> string
 val input_site : string -> string list -> int
 (** The memoized site used when value-shredding input [base] at [path]. *)
 
+val reset_sites : unit -> unit
+(** Reset the site namespace (and the input-site memo). Label identities
+    feed hash partitioning, so {!Trance.Api.run} resets before each run to
+    keep repeated runs in one process bit-identical. *)
+
 (** {2 Type transformations} *)
 
 val flat_of : Nrc.Types.t -> Nrc.Types.t

@@ -17,6 +17,8 @@ type t = {
   cpu_weight : float; (* simulated seconds per processed byte *)
   net_weight : float; (* simulated seconds per byte received by one node *)
   seed : int;
+  max_task_attempts : int; (* attempt budget per task, Spark's spark.task.maxFailures *)
+  speculation : bool; (* launch speculative duplicates for stragglers *)
 }
 
 let default =
@@ -30,6 +32,8 @@ let default =
     cpu_weight = 1e-8;
     net_weight = 4e-8;
     seed = 42;
+    max_task_attempts = 4;
+    speculation = true;
   }
 
 (** A configuration that never fails on memory: used by tests that check

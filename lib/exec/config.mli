@@ -15,7 +15,13 @@ type t = {
   heavy_threshold : float;  (** fraction of a partition's sample (2.5%) *)
   cpu_weight : float;  (** simulated seconds per processed byte *)
   net_weight : float;  (** simulated seconds per byte received by a node *)
-  seed : int;
+  seed : int;  (** also seeds the {!Faults} injector *)
+  max_task_attempts : int;
+      (** attempt budget per task before the run fails typed
+          ({!Faults.Task_abandoned}); Spark's [spark.task.maxFailures] = 4 *)
+  speculation : bool;
+      (** launch a speculative duplicate for an injected straggler; the
+          first copy to finish wins (Spark's [spark.speculation]) *)
 }
 
 val default : t

@@ -72,6 +72,7 @@ type state = {
   opts : options;
   stats : Stats.t;
   trace : Trace.ctx option;
+  faults : Faults.t option;
   env : env;
 }
 
@@ -92,8 +93,25 @@ let trace_rows_in st rsets =
       ~rows_in:(List.fold_left (fun acc r -> acc + rset_rows r) 0 rsets)
       ()
 
+(* Recovery cost is charged to both the flat counters and the innermost
+   span, so the span tree accounts recomputed bytes exactly. *)
+let charge_recovery st ?(retries = 0) ?(retried = 0) ?(speculative = 0)
+    ?(recomputed = 0) ?(dt = 0.) () =
+  Stats.add_task_retries st.stats retries;
+  Stats.add_retried_tasks st.stats retried;
+  Stats.add_speculative st.stats speculative;
+  Stats.add_recomputed st.stats recomputed;
+  Stats.add_sim_seconds st.stats dt;
+  Trace.add st.trace ~retries ~retried ~speculative ~recomputed
+    ~sim_seconds:dt ()
+
 (* Charge one stage: per-worker residency check + simulated cpu time.
-   [extra_per_worker] models broadcast copies resident on every worker. *)
+   [extra_per_worker] models broadcast copies resident on every worker.
+   This is also a compute-site stage for the fault injector: an injected
+   event is recovered here with Spark's semantics — bounded per-task retry,
+   lineage re-execution of a lost worker's partitions, speculative
+   duplicates for stragglers — and its cost (extra attempts, recomputed
+   bytes, extra simulated time) is charged on top of the clean stage. *)
 let account st ~stage ?(extra_per_worker = 0) (input_bytes : int array list)
     (output : Row.t array array) : unit =
   let cfg = st.cfg in
@@ -113,19 +131,26 @@ let account st ~stage ?(extra_per_worker = 0) (input_bytes : int array list)
   Stats.observe_worker st.stats max_worker;
   Trace.observe_worker st.trace max_worker;
   Trace.observe_partitions st.trace out_bytes;
-  if max_worker > cfg.Config.worker_mem then
+  let event =
+    Faults.on_stage st.faults ~site:Faults.Compute ~partitions:nparts
+      ~workers:cfg.Config.workers
+  in
+  let budget = Faults.effective_mem st.faults cfg.Config.worker_mem in
+  if max_worker > budget then
     raise
       (Stats.Worker_out_of_memory
-         { stage; worker_bytes = max_worker; budget = cfg.Config.worker_mem });
-  (* slowest partition bounds the stage *)
+         { stage; worker_bytes = max_worker; budget });
+  (* per-partition task cost: a task reads its input slices and writes its
+     output slice; the slowest task bounds the stage *)
+  let task_cost p =
+    out_bytes.(p)
+    + List.fold_left
+        (fun acc arr -> acc + (if p < Array.length arr then arr.(p) else 0))
+        0 input_bytes
+  in
   let max_part = ref 0 in
   for p = 0 to nparts - 1 do
-    let b =
-      out_bytes.(p)
-      + List.fold_left
-          (fun acc arr -> acc + (if p < Array.length arr then arr.(p) else 0))
-          0 input_bytes
-    in
+    let b = task_cost p in
     if b > !max_part then max_part := b
   done;
   let dt = float_of_int !max_part *. cfg.Config.cpu_weight in
@@ -134,7 +159,50 @@ let account st ~stage ?(extra_per_worker = 0) (input_bytes : int array list)
     Array.fold_left (fun acc p -> acc + Array.length p) 0 output
   in
   Stats.add_rows st.stats rows;
-  Trace.add st.trace ~rows_out:rows ~sim_seconds:dt ()
+  Trace.add st.trace ~rows_out:rows ~sim_seconds:dt ();
+  match event with
+  | None -> ()
+  | Some (Faults.Fail_task { partition; fails }) ->
+    let b = task_cost partition in
+    let t = float_of_int b *. cfg.Config.cpu_weight in
+    if fails >= cfg.Config.max_task_attempts then begin
+      (* every attempt fails: charge the wasted retries, then give up *)
+      let wasted = cfg.Config.max_task_attempts - 1 in
+      charge_recovery st ~retries:wasted ~retried:1 ~recomputed:(wasted * b)
+        ~dt:(float_of_int wasted *. t) ();
+      raise
+        (Faults.Task_abandoned
+           { stage; partition; attempts = cfg.Config.max_task_attempts })
+    end
+    else
+      charge_recovery st ~retries:fails ~retried:1 ~recomputed:(fails * b)
+        ~dt:(float_of_int fails *. t) ()
+  | Some (Faults.Lose_worker { worker = w }) ->
+    (* lineage re-execution: every partition resident on the dead worker is
+       recomputed on the survivors; they run in parallel, so the slowest
+       lost task bounds the extra time *)
+    let lost = ref 0 and bytes = ref 0 and slowest = ref 0 in
+    for p = 0 to nparts - 1 do
+      if Config.worker_of_partition cfg p = w then begin
+        incr lost;
+        let b = task_cost p in
+        bytes := !bytes + b;
+        if b > !slowest then slowest := b
+      end
+    done;
+    charge_recovery st ~retries:!lost ~retried:!lost ~recomputed:!bytes
+      ~dt:(float_of_int !slowest *. cfg.Config.cpu_weight) ()
+  | Some (Faults.Straggle { partition; multiplier }) ->
+    let b = task_cost partition in
+    let t = float_of_int b *. cfg.Config.cpu_weight in
+    if cfg.Config.speculation then
+      (* a duplicate launches once the straggler is noticed (after ~1x the
+         normal task time) and runs at full speed: first copy wins, so the
+         task finishes around 2x instead of [multiplier]x *)
+      charge_recovery st ~speculative:1 ~recomputed:b
+        ~dt:((Float.min multiplier 2. -. 1.) *. t) ()
+    else charge_recovery st ~dt:((multiplier -. 1.) *. t) ()
+  | Some (Faults.Fail_fetch _) -> () (* only injected at shuffle sites *)
 
 (* ------------------------------------------------------------------ *)
 (* Shuffling *)
@@ -170,6 +238,18 @@ let shuffle st ?(stage = "shuffle") (r : rset) (keys : S.t list) : rset =
       Stats.add_sim_seconds st.stats dt;
       Trace.add st.trace ~shuffled:!moved ~stages:1 ~sim_seconds:dt ();
       Trace.observe_partitions st.trace received;
+      (* a shuffle is a fetch-site stage: a transient fetch failure makes
+         one destination partition re-fetch its inputs [fails] times *)
+      (match
+         Faults.on_stage st.faults ~site:Faults.Shuffle_fetch ~partitions:n
+           ~workers:cfg.Config.workers
+       with
+      | Some (Faults.Fail_fetch { partition; fails }) ->
+        let b = received.(partition) in
+        charge_recovery st ~retries:fails ~retried:1 ~recomputed:(fails * b)
+          ~dt:(float_of_int (fails * b) *. cfg.Config.net_weight)
+          ()
+      | _ -> ());
       (* receiving workers must hold their partitions *)
       let worker = Array.make cfg.Config.workers 0 in
       Array.iteri
@@ -180,14 +260,11 @@ let shuffle st ?(stage = "shuffle") (r : rset) (keys : S.t list) : rset =
       let max_worker = Array.fold_left max 0 worker in
       Stats.observe_worker st.stats max_worker;
       Trace.observe_worker st.trace max_worker;
-      if max_worker > cfg.Config.worker_mem then
+      let budget = Faults.effective_mem st.faults cfg.Config.worker_mem in
+      if max_worker > budget then
         raise
           (Stats.Worker_out_of_memory
-             {
-               stage;
-               worker_bytes = max_worker;
-               budget = cfg.Config.worker_mem;
-             });
+             { stage; worker_bytes = max_worker; budget });
       {
         parts = Array.map (fun l -> Array.of_list (List.rev l)) dest;
         key = Some keys;
@@ -461,6 +538,11 @@ let map_parts st ~stage ?(key = fun k -> k) ?(keep_skew = false) f (r : rset)
   { parts = out; key = key r.key; skew = (if keep_skew then r.skew else None) }
 
 let next_id_base = ref 0
+
+(* AddIndex ids feed [hash_key] and therefore partition assignment; callers
+   that need run-for-run determinism (fault-injection replay) reset the
+   counter before each run. *)
+let reset_ids () = next_id_base := 0
 
 let rec run (st : state) (op : Op.t) : rset =
   Trace.with_span st.trace ~op:(Op.name op) (fun () -> exec st op)
@@ -802,21 +884,21 @@ let rset_to_dataset (cols : string list) (r : rset) : Dataset.t =
   { Dataset.parts = Array.map (Array.map to_value) r.parts; key }
 
 (** Execute one plan against named datasets; returns the result dataset. *)
-let run_plan ?(options = default_options) ?trace ~config ~stats (env : env)
-    (plan : Op.t) : Dataset.t =
-  let st = { cfg = config; opts = options; stats; trace; env } in
+let run_plan ?(options = default_options) ?trace ?faults ~config ~stats
+    (env : env) (plan : Op.t) : Dataset.t =
+  let st = { cfg = config; opts = options; stats; trace; faults; env } in
   let r = run st plan in
   rset_to_dataset (Op.columns plan) r
 
 (** Execute a sequence of (name, plan) assignments, extending the
     environment; returns the final environment. *)
-let run_assignments ?(options = default_options) ?trace ~config ~stats
-    (env : env) (plans : (string * Op.t) list) : env =
+let run_assignments ?(options = default_options) ?trace ?faults ~config
+    ~stats (env : env) (plans : (string * Op.t) list) : env =
   List.iter
     (fun (name, plan) ->
       let ds =
         Trace.with_span trace ~op:"Assignment" ~stage:name (fun () ->
-            run_plan ~options ?trace ~config ~stats env plan)
+            run_plan ~options ?trace ?faults ~config ~stats env plan)
       in
       Hashtbl.replace env name ds)
     plans;

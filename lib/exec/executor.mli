@@ -46,21 +46,36 @@ type rset = {
 
 val rset_to_dataset : string list -> rset -> Dataset.t
 
+val reset_ids : unit -> unit
+(** Reset the global [AddIndex] id counter. The ids feed [hash_key] and
+    therefore partition assignment, so callers that need run-for-run
+    determinism (fault-injection replay; {!Trance.Api.run} calls this)
+    reset before each run. *)
+
 val run_plan :
   ?options:options ->
   ?trace:Trace.ctx ->
+  ?faults:Faults.t ->
   config:Config.t ->
   stats:Stats.t ->
   env ->
   Plan.Op.t ->
   Dataset.t
 (** Execute one plan against named datasets. With [?trace], the plan run
-    appears as one root span per top-level operator in the context.
-    @raise Stats.Worker_out_of_memory when a worker exceeds its budget. *)
+    appears as one root span per top-level operator in the context. With
+    [?faults], the injector is consulted at every compute and shuffle stage
+    and injected events are recovered with Spark's semantics (bounded
+    per-task retry, lineage re-execution, speculation); recovery cost shows
+    up in {!Stats} and the trace.
+    @raise Stats.Worker_out_of_memory when a worker exceeds its (possibly
+    squeezed) budget.
+    @raise Faults.Task_abandoned when an injected task failure exhausts
+    {!Config.t.max_task_attempts}. *)
 
 val run_assignments :
   ?options:options ->
   ?trace:Trace.ctx ->
+  ?faults:Faults.t ->
   config:Config.t ->
   stats:Stats.t ->
   env ->
@@ -68,4 +83,4 @@ val run_assignments :
   env
 (** Execute (name, plan) assignments in order, extending the environment.
     With [?trace], each assignment is wrapped in an ["Assignment"] span
-    whose stage is the assignment name. *)
+    whose stage is the assignment name. [?faults] as in {!run_plan}. *)

@@ -1,0 +1,165 @@
+(** Deterministic, seed-driven fault schedules; see faults.mli. *)
+
+type kind =
+  | Worker_crash
+  | Task_failure
+  | Fetch_failure
+  | Straggler
+  | Mem_squeeze
+
+type spec = {
+  kind : kind;
+  stage : int;
+  fails : int;
+  multiplier : float;
+  factor : float;
+}
+
+let default_spec kind =
+  { kind; stage = 0; fails = 1; multiplier = 8.; factor = 0.5 }
+
+let kind_name = function
+  | Worker_crash -> "crash"
+  | Task_failure -> "task"
+  | Fetch_failure -> "fetch"
+  | Straggler -> "straggler"
+  | Mem_squeeze -> "memsqueeze"
+
+let kind_of_string = function
+  | "crash" | "worker-crash" -> Ok Worker_crash
+  | "task" | "task-failure" -> Ok Task_failure
+  | "fetch" | "fetch-failure" -> Ok Fetch_failure
+  | "straggler" | "slow" -> Ok Straggler
+  | "memsqueeze" | "mem" -> Ok Mem_squeeze
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown fault kind %S (expected crash, task, fetch, straggler, \
+          memsqueeze)"
+         s)
+
+let spec_of_string s =
+  let kind_s, params =
+    match String.index_opt s ':' with
+    | None -> (s, "")
+    | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  Result.bind (kind_of_string kind_s) (fun kind ->
+      let apply acc kv =
+        Result.bind acc (fun sp ->
+            if kv = "" then Ok sp
+            else
+              match String.split_on_char '=' kv with
+              | [ "stage"; v ] -> (
+                match int_of_string_opt v with
+                | Some n when n >= 0 -> Ok { sp with stage = n }
+                | _ -> Error (Printf.sprintf "bad stage %S" v))
+              | [ "fails"; v ] -> (
+                match int_of_string_opt v with
+                | Some n when n >= 1 -> Ok { sp with fails = n }
+                | _ -> Error (Printf.sprintf "bad fails %S" v))
+              | [ "mult"; v ] -> (
+                match float_of_string_opt v with
+                | Some f when f >= 1. -> Ok { sp with multiplier = f }
+                | _ -> Error (Printf.sprintf "bad mult %S" v))
+              | [ "factor"; v ] -> (
+                match float_of_string_opt v with
+                | Some f when f > 0. && f <= 1. -> Ok { sp with factor = f }
+                | _ -> Error (Printf.sprintf "bad factor %S" v))
+              | _ -> Error (Printf.sprintf "bad fault parameter %S" kv))
+      in
+      List.fold_left apply
+        (Ok (default_spec kind))
+        (String.split_on_char ',' params))
+
+let spec_to_string sp =
+  let base = Printf.sprintf "%s:stage=%d" (kind_name sp.kind) sp.stage in
+  match sp.kind with
+  | Worker_crash -> base
+  | Task_failure | Fetch_failure -> Printf.sprintf "%s,fails=%d" base sp.fails
+  | Straggler -> Printf.sprintf "%s,mult=%g" base sp.multiplier
+  | Mem_squeeze -> Printf.sprintf "%s,factor=%g" base sp.factor
+
+(* ------------------------------------------------------------------ *)
+(* Runtime *)
+
+type t = {
+  sp : spec;
+  seed : int;
+  mutable stage_counter : int;
+  mutable fired : bool;
+  mutable squeezing : bool;
+}
+
+type site = Compute | Shuffle_fetch
+
+type event =
+  | Fail_task of { partition : int; fails : int }
+  | Lose_worker of { worker : int }
+  | Fail_fetch of { partition : int; fails : int }
+  | Straggle of { partition : int; multiplier : float }
+
+exception
+  Task_abandoned of {
+    stage : string;
+    partition : int;
+    attempts : int;
+  }
+
+let make ?(seed = 42) sp =
+  { sp; seed; stage_counter = 0; fired = false; squeezing = false }
+
+let spec t = t.sp
+
+(* murmur-style avalanche of (seed, stage index): a pure victim choice *)
+let pick t bound =
+  if bound <= 0 then 0
+  else begin
+    let z = (t.seed * 0x9E3779B1) + ((t.stage_counter + 1) * 0x85EBCA6B) in
+    let z = z lxor (z lsr 15) in
+    let z = z * 0xC2B2AE35 in
+    let z = z lxor (z lsr 13) in
+    abs z mod bound
+  end
+
+let eligible kind site =
+  match kind, site with
+  | Fetch_failure, Shuffle_fetch -> true
+  | Fetch_failure, Compute -> false
+  | (Worker_crash | Task_failure | Straggler), Compute -> true
+  | (Worker_crash | Task_failure | Straggler), Shuffle_fetch -> false
+  | Mem_squeeze, _ -> false (* acts through effective_mem, not an event *)
+
+let on_stage (ot : t option) ~site ~partitions ~workers : event option =
+  match ot with
+  | None -> None
+  | Some t ->
+    let idx = t.stage_counter in
+    t.stage_counter <- idx + 1;
+    (match t.sp.kind with
+    | Mem_squeeze when (not t.squeezing) && idx >= t.sp.stage ->
+      t.squeezing <- true
+    | _ -> ());
+    if t.fired || idx < t.sp.stage || not (eligible t.sp.kind site) then None
+    else begin
+      t.fired <- true;
+      match t.sp.kind with
+      | Worker_crash -> Some (Lose_worker { worker = pick t (max 1 workers) })
+      | Task_failure ->
+        Some (Fail_task { partition = pick t (max 1 partitions); fails = t.sp.fails })
+      | Fetch_failure ->
+        Some (Fail_fetch { partition = pick t (max 1 partitions); fails = t.sp.fails })
+      | Straggler ->
+        Some
+          (Straggle
+             { partition = pick t (max 1 partitions);
+               multiplier = t.sp.multiplier })
+      | Mem_squeeze -> None
+    end
+
+let effective_mem (ot : t option) budget =
+  match ot with
+  | Some { sp = { kind = Mem_squeeze; factor; _ }; squeezing = true; _ } ->
+    max 1 (int_of_float (float_of_int budget *. factor))
+  | _ -> budget

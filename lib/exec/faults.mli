@@ -1,0 +1,100 @@
+(** Deterministic fault injection for the cluster simulator.
+
+    The simulator imitates a Spark substrate, and Spark substrates
+    misbehave: executors die, tasks fail, shuffle fetches time out,
+    stragglers stall stages, memory budgets shrink under co-tenancy. This
+    module turns those misbehaviours into a {e seed-driven schedule of
+    injectable events} that {!Executor} consults once per accounted stage,
+    and {!Executor} answers with Spark's recovery semantics (bounded
+    per-task retry, lineage re-execution of a lost worker's partitions,
+    speculative duplicates with first-wins dedup).
+
+    Everything here is deterministic: the victim partition / worker is a
+    pure hash of [(seed, stage index)], so the same seed yields the same
+    span tree, the same attempt counts and the same recomputed bytes —
+    which is what lets the differential test suite assert recovery
+    behaviour exactly. *)
+
+(** The injectable misbehaviours. *)
+type kind =
+  | Worker_crash
+      (** a worker dies at the stage: its resident partitions are lost and
+          re-executed from lineage on the survivors *)
+  | Task_failure
+      (** one partition task fails [fails] consecutive times before
+          (possibly) succeeding; Spark's per-task retry with a bounded
+          attempt budget ({!Config.t.max_task_attempts}) *)
+  | Fetch_failure
+      (** a transient shuffle-fetch failure: one destination partition must
+          re-fetch its inputs [fails] times *)
+  | Straggler
+      (** one task runs [multiplier] times slower; with
+          {!Config.t.speculation} a duplicate launches and the first copy
+          to finish wins *)
+  | Mem_squeeze
+      (** from the stage onward every worker's memory budget is multiplied
+          by [factor] — the graceful-degradation path into the paper's FAIL
+          outcomes *)
+
+type spec = {
+  kind : kind;
+  stage : int;  (** 0-based accounted-stage index at which the fault fires *)
+  fails : int;  (** consecutive failures for task / fetch faults *)
+  multiplier : float;  (** straggler slowdown *)
+  factor : float;  (** memory-budget squeeze factor *)
+}
+
+val default_spec : kind -> spec
+(** [stage = 0], [fails = 1], [multiplier = 8.], [factor = 0.5]. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parse CLI syntax: [crash:stage=2], [task:stage=1,fails=2],
+    [fetch:stage=3], [straggler:stage=1,mult=8],
+    [memsqueeze:stage=0,factor=0.25]. Parameters may be omitted
+    ([default_spec] fills them) and combined freely. *)
+
+val spec_to_string : spec -> string
+(** Canonical round-trippable form of {!spec_of_string}. *)
+
+(** {2 Runtime injector} *)
+
+type t
+(** One run's injector: the spec plus a stage counter and fired/squeeze
+    state. Create a fresh one per run. *)
+
+val make : ?seed:int -> spec -> t
+
+val spec : t -> spec
+
+(** Where a stage is accounted: fetch failures only make sense where data
+    is fetched. *)
+type site = Compute | Shuffle_fetch
+
+(** What the injector decided for one stage. *)
+type event =
+  | Fail_task of { partition : int; fails : int }
+  | Lose_worker of { worker : int }
+  | Fail_fetch of { partition : int; fails : int }
+  | Straggle of { partition : int; multiplier : float }
+
+exception
+  Task_abandoned of {
+    stage : string;
+    partition : int;
+    attempts : int;
+  }
+(** A task exhausted its attempt budget: the typed unrecoverable outcome
+    (reported by {!Trance.Api} as [Task_failed], never a wrong answer).
+    Raised by the executor, not by this module. *)
+
+val on_stage :
+  t option -> site:site -> partitions:int -> workers:int -> event option
+(** Advance the stage counter and return the event injected at this stage,
+    if any. A single spec fires exactly once, at the first {e eligible}
+    site whose index reaches [spec.stage] (a fetch failure waits for a
+    shuffle; the others wait for a compute stage). [None] injector is a
+    no-op returning [None]. *)
+
+val effective_mem : t option -> int -> int
+(** The worker memory budget after an active {!Mem_squeeze} (identity
+    before the squeeze stage and for every other fault kind). *)

@@ -9,6 +9,10 @@ type t = {
   mutable rows_processed : int;
   mutable stages : int;
   mutable sim_seconds : float;
+  mutable task_retries : int;
+  mutable retried_tasks : int;
+  mutable speculative_tasks : int;
+  mutable recomputed_bytes : int;
 }
 
 type snapshot = {
@@ -18,6 +22,10 @@ type snapshot = {
   rows_processed : int;
   stages : int;
   sim_seconds : float;
+  task_retries : int;
+  retried_tasks : int;
+  speculative_tasks : int;
+  recomputed_bytes : int;
 }
 
 exception
@@ -35,6 +43,10 @@ let create () : t =
     rows_processed = 0;
     stages = 0;
     sim_seconds = 0.;
+    task_retries = 0;
+    retried_tasks = 0;
+    speculative_tasks = 0;
+    recomputed_bytes = 0;
   }
 
 let shuffled_bytes (s : t) = s.shuffled_bytes
@@ -43,11 +55,22 @@ let peak_worker_bytes (s : t) = s.peak_worker_bytes
 let rows_processed (s : t) = s.rows_processed
 let stages (s : t) = s.stages
 let sim_seconds (s : t) = s.sim_seconds
+let task_retries (s : t) = s.task_retries
+let retried_tasks (s : t) = s.retried_tasks
+let speculative_tasks (s : t) = s.speculative_tasks
+let recomputed_bytes (s : t) = s.recomputed_bytes
 let add_shuffled (s : t) n = s.shuffled_bytes <- s.shuffled_bytes + n
 let add_broadcast (s : t) n = s.broadcast_bytes <- s.broadcast_bytes + n
 let add_rows (s : t) n = s.rows_processed <- s.rows_processed + n
 let add_stage (s : t) = s.stages <- s.stages + 1
 let add_sim_seconds (s : t) dt = s.sim_seconds <- s.sim_seconds +. dt
+let add_task_retries (s : t) n = s.task_retries <- s.task_retries + n
+let add_retried_tasks (s : t) n = s.retried_tasks <- s.retried_tasks + n
+
+let add_speculative (s : t) n =
+  s.speculative_tasks <- s.speculative_tasks + n
+
+let add_recomputed (s : t) n = s.recomputed_bytes <- s.recomputed_bytes + n
 
 let observe_worker (s : t) bytes =
   s.peak_worker_bytes <- max s.peak_worker_bytes bytes
@@ -60,6 +83,10 @@ let snapshot (s : t) : snapshot =
     rows_processed = s.rows_processed;
     stages = s.stages;
     sim_seconds = s.sim_seconds;
+    task_retries = s.task_retries;
+    retried_tasks = s.retried_tasks;
+    speculative_tasks = s.speculative_tasks;
+    recomputed_bytes = s.recomputed_bytes;
   }
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
@@ -70,6 +97,10 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     rows_processed = a.rows_processed - b.rows_processed;
     stages = a.stages - b.stages;
     sim_seconds = a.sim_seconds -. b.sim_seconds;
+    task_retries = a.task_retries - b.task_retries;
+    retried_tasks = a.retried_tasks - b.retried_tasks;
+    speculative_tasks = a.speculative_tasks - b.speculative_tasks;
+    recomputed_bytes = a.recomputed_bytes - b.recomputed_bytes;
   }
 
 let merge (a : snapshot) (b : snapshot) : snapshot =
@@ -80,6 +111,10 @@ let merge (a : snapshot) (b : snapshot) : snapshot =
     rows_processed = a.rows_processed + b.rows_processed;
     stages = a.stages + b.stages;
     sim_seconds = a.sim_seconds +. b.sim_seconds;
+    task_retries = a.task_retries + b.task_retries;
+    retried_tasks = a.retried_tasks + b.retried_tasks;
+    speculative_tasks = a.speculative_tasks + b.speculative_tasks;
+    recomputed_bytes = a.recomputed_bytes + b.recomputed_bytes;
   }
 
 let zero : snapshot =
@@ -90,31 +125,24 @@ let zero : snapshot =
     rows_processed = 0;
     stages = 0;
     sim_seconds = 0.;
+    task_retries = 0;
+    retried_tasks = 0;
+    speculative_tasks = 0;
+    recomputed_bytes = 0;
   }
 
-let pp_counts ppf (shuffled, broadcast, peak, rows, stages, sim) =
+let pp_snapshot ppf (s : snapshot) =
   Fmt.pf ppf
     "shuffle=%.1fMB broadcast=%.1fMB peak_worker=%.1fMB rows=%d stages=%d \
      sim=%.2fs"
-    (float_of_int shuffled /. 1048576.)
-    (float_of_int broadcast /. 1048576.)
-    (float_of_int peak /. 1048576.)
-    rows stages sim
+    (float_of_int s.shuffled_bytes /. 1048576.)
+    (float_of_int s.broadcast_bytes /. 1048576.)
+    (float_of_int s.peak_worker_bytes /. 1048576.)
+    s.rows_processed s.stages s.sim_seconds;
+  if s.task_retries > 0 || s.speculative_tasks > 0 || s.recomputed_bytes > 0
+  then
+    Fmt.pf ppf " retries=%d retried=%d spec=%d recomp=%.1fKB" s.task_retries
+      s.retried_tasks s.speculative_tasks
+      (float_of_int s.recomputed_bytes /. 1024.)
 
-let pp ppf (s : t) =
-  pp_counts ppf
-    ( s.shuffled_bytes,
-      s.broadcast_bytes,
-      s.peak_worker_bytes,
-      s.rows_processed,
-      s.stages,
-      s.sim_seconds )
-
-let pp_snapshot ppf (s : snapshot) =
-  pp_counts ppf
-    ( s.shuffled_bytes,
-      s.broadcast_bytes,
-      s.peak_worker_bytes,
-      s.rows_processed,
-      s.stages,
-      s.sim_seconds )
+let pp ppf (s : t) = pp_snapshot ppf (snapshot s)

@@ -19,6 +19,10 @@ type snapshot = {
   rows_processed : int;
   stages : int;  (** shuffle boundaries *)
   sim_seconds : float;
+  task_retries : int;  (** extra task attempts beyond the first *)
+  retried_tasks : int;  (** distinct tasks that needed more than one attempt *)
+  speculative_tasks : int;  (** speculative duplicates launched *)
+  recomputed_bytes : int;  (** bytes recomputed or re-fetched during recovery *)
 }
 
 exception
@@ -41,6 +45,10 @@ val peak_worker_bytes : t -> int
 val rows_processed : t -> int
 val stages : t -> int
 val sim_seconds : t -> float
+val task_retries : t -> int
+val retried_tasks : t -> int
+val speculative_tasks : t -> int
+val recomputed_bytes : t -> int
 
 (** {2 Recording (executor side)} *)
 
@@ -49,6 +57,10 @@ val add_broadcast : t -> int -> unit
 val add_rows : t -> int -> unit
 val add_stage : t -> unit
 val add_sim_seconds : t -> float -> unit
+val add_task_retries : t -> int -> unit
+val add_retried_tasks : t -> int -> unit
+val add_speculative : t -> int -> unit
+val add_recomputed : t -> int -> unit
 
 val observe_worker : t -> int -> unit
 (** Raise the peak per-worker residency high-water mark. *)

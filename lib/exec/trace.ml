@@ -23,6 +23,10 @@ type metrics = {
   partitions : int;
   peak_worker_bytes : int;
   sim_seconds : float;
+  task_retries : int;
+  retried_tasks : int;
+  speculative_tasks : int;
+  recomputed_bytes : int;
 }
 
 let zero_metrics =
@@ -37,6 +41,10 @@ let zero_metrics =
     partitions = 0;
     peak_worker_bytes = 0;
     sim_seconds = 0.;
+    task_retries = 0;
+    retried_tasks = 0;
+    speculative_tasks = 0;
+    recomputed_bytes = 0;
   }
 
 let merge_metrics a b =
@@ -51,6 +59,10 @@ let merge_metrics a b =
     partitions = a.partitions + b.partitions;
     peak_worker_bytes = max a.peak_worker_bytes b.peak_worker_bytes;
     sim_seconds = a.sim_seconds +. b.sim_seconds;
+    task_retries = a.task_retries + b.task_retries;
+    retried_tasks = a.retried_tasks + b.retried_tasks;
+    speculative_tasks = a.speculative_tasks + b.speculative_tasks;
+    recomputed_bytes = a.recomputed_bytes + b.recomputed_bytes;
   }
 
 let mean_partition_bytes m =
@@ -157,7 +169,8 @@ let set_strategy octx s =
       match n.nstrategy with None -> n.nstrategy <- Some s | Some _ -> ())
 
 let add octx ?(shuffled = 0) ?(broadcast = 0) ?(rows_in = 0) ?(rows_out = 0)
-    ?(stages = 0) ?(sim_seconds = 0.) () =
+    ?(stages = 0) ?(sim_seconds = 0.) ?(retries = 0) ?(retried = 0)
+    ?(speculative = 0) ?(recomputed = 0) () =
   on_top octx (fun n ->
       n.nm <-
         {
@@ -168,6 +181,10 @@ let add octx ?(shuffled = 0) ?(broadcast = 0) ?(rows_in = 0) ?(rows_out = 0)
           rows_out = n.nm.rows_out + rows_out;
           stages = n.nm.stages + stages;
           sim_seconds = n.nm.sim_seconds +. sim_seconds;
+          task_retries = n.nm.task_retries + retries;
+          retried_tasks = n.nm.retried_tasks + retried;
+          speculative_tasks = n.nm.speculative_tasks + speculative;
+          recomputed_bytes = n.nm.recomputed_bytes + recomputed;
         })
 
 let observe_partitions octx (bytes : int array) =
@@ -201,7 +218,11 @@ let pp_bytes ppf b =
 let pp_metrics ppf m =
   Fmt.pf ppf "shuffle=%a bcast=%a rows=%d/%d peak=%a imbal=%.1f sim=%.4fs"
     pp_bytes m.shuffled_bytes pp_bytes m.broadcast_bytes m.rows_in m.rows_out
-    pp_bytes m.peak_worker_bytes (load_imbalance m) m.sim_seconds
+    pp_bytes m.peak_worker_bytes (load_imbalance m) m.sim_seconds;
+  if m.task_retries > 0 || m.speculative_tasks > 0 || m.recomputed_bytes > 0
+  then
+    Fmt.pf ppf " retries=%d spec=%d recomp=%a" m.task_retries
+      m.speculative_tasks pp_bytes m.recomputed_bytes
 
 let pp_tree ppf sp =
   let rec go indent sp =
@@ -239,13 +260,14 @@ let json_float f =
 let buffer_metrics b m =
   Buffer.add_string b
     (Printf.sprintf
-       "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"rows_in\":%d,\"rows_out\":%d,\"stages\":%d,\"max_partition_bytes\":%d,\"mean_partition_bytes\":%s,\"peak_worker_bytes\":%d,\"load_imbalance\":%s,\"sim_seconds\":%s}"
+       "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"rows_in\":%d,\"rows_out\":%d,\"stages\":%d,\"max_partition_bytes\":%d,\"mean_partition_bytes\":%s,\"peak_worker_bytes\":%d,\"load_imbalance\":%s,\"sim_seconds\":%s,\"task_retries\":%d,\"retried_tasks\":%d,\"speculative_tasks\":%d,\"recomputed_bytes\":%d}"
        m.shuffled_bytes m.broadcast_bytes m.rows_in m.rows_out m.stages
        m.max_partition_bytes
        (json_float (mean_partition_bytes m))
        m.peak_worker_bytes
        (json_float (load_imbalance m))
-       (json_float m.sim_seconds))
+       (json_float m.sim_seconds)
+       m.task_retries m.retried_tasks m.speculative_tasks m.recomputed_bytes)
 
 let rec buffer_json b sp =
   Buffer.add_string b (Printf.sprintf "{\"id\":%d,\"op\":\"" sp.id);

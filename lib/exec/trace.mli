@@ -44,6 +44,10 @@ type metrics = {
   partitions : int;  (** partitions observed (for the mean) *)
   peak_worker_bytes : int;
   sim_seconds : float;
+  task_retries : int;  (** extra task attempts beyond the first *)
+  retried_tasks : int;  (** distinct tasks that needed more than one attempt *)
+  speculative_tasks : int;  (** speculative duplicates launched *)
+  recomputed_bytes : int;  (** bytes recomputed or re-fetched in recovery *)
 }
 
 val zero_metrics : metrics
@@ -109,6 +113,10 @@ val add :
   ?rows_out:int ->
   ?stages:int ->
   ?sim_seconds:float ->
+  ?retries:int ->
+  ?retried:int ->
+  ?speculative:int ->
+  ?recomputed:int ->
   unit ->
   unit
 (** Charge counters to the innermost open span. *)

@@ -4,9 +4,12 @@
     equi-joins, navigation, nested reconstruction, sumBy/groupBy at the root
     and inside nested attributes, dedup, unions of compatible branches) over
     a fixed pair of flat relations and one nested relation, with random
-    constants, projections, key choices and data. Every generated query is
-    checked across all evaluation routes against the reference interpreter
-    (see test_random.ml). *)
+    constants, projections, key choices and data. Input relations and
+    nested [items] bags are generated empty with boosted probability, so
+    the differential suites cover the empty-partition / empty-group edge
+    cases that fault recovery and shuffling love to expose. Every generated
+    query is checked across all evaluation routes against the reference
+    interpreter (see test_random.ml). *)
 
 module E = Nrc.Expr
 module T = Nrc.Types
@@ -65,6 +68,11 @@ let gen_item =
     (G.int_bound (key_domain - 1))
     (G.int_bound 9)
 
+(* a list that is empty one time in six, so empty relations, empty
+   partitions and empty inner bags are first-class citizens of the corpus *)
+let gen_bag_list n g =
+  G.frequency [ (1, G.return []); (5, G.list_size (G.int_bound n) g) ]
+
 let gen_n_row =
   G.map3
     (fun k name items ->
@@ -76,15 +84,43 @@ let gen_n_row =
         ])
     (G.int_bound (key_domain - 1))
     (G.int_bound 3)
-    (G.list_size (G.int_bound 4) gen_item)
+    (gen_bag_list 4 gen_item)
 
 let gen_inputs : (string * V.t) list G.t =
   G.map3
     (fun rs ss ns ->
       [ ("R", V.Bag rs); ("S", V.Bag ss); ("N", V.Bag ns) ])
-    (G.list_size (G.int_bound 12) gen_r_row)
-    (G.list_size (G.int_bound 12) gen_s_row)
-    (G.list_size (G.int_bound 8) gen_n_row)
+    (gen_bag_list 12 gen_r_row)
+    (gen_bag_list 12 gen_s_row)
+    (gen_bag_list 8 gen_n_row)
+
+(* ------------------------------------------------------------------ *)
+(* Input transforms for hint-soundness in properties *)
+
+(** Keep the first S row per [a], making S genuinely unique on its key so
+    a [unique_keys = [("S", ["a"])]] optimizer hint is sound on the data. *)
+let dedup_s (inputs : (string * V.t) list) : (string * V.t) list =
+  List.map
+    (fun (name, v) ->
+      if name <> "S" then (name, v)
+      else
+        let seen = Hashtbl.create 8 in
+        let rows =
+          List.filter
+            (fun row ->
+              match row with
+              | V.Tuple fields -> (
+                match List.assoc_opt "a" fields with
+                | Some (V.Int a) when not (Hashtbl.mem seen a) ->
+                  Hashtbl.add seen a ();
+                  true
+                | Some _ -> false
+                | None -> true)
+              | _ -> true)
+            (V.bag_items v)
+        in
+        (name, V.Bag rows))
+    inputs
 
 (* ------------------------------------------------------------------ *)
 (* Query generation *)

@@ -1,0 +1,344 @@
+(** Fault-injection campaign: for every corpus query, every strategy and
+    every injectable fault, a single injected fault must either be
+    recovered — the run still produces the reference answer, with attempt
+    counts within budget and recovery cost accounted exactly in the span
+    tree — or surface as a typed failure. Never a wrong answer. Injection
+    is deterministic: the same seed yields the same span tree and the same
+    counters, which the replay tests assert bit-for-bit. *)
+
+module V = Nrc.Value
+module F = Exec.Faults
+module Trace = Exec.Trace
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* per-property case count; QCHECK_COUNT scales the whole suite up for the
+   nightly campaign (the seed comes from QCHECK_SEED via qcheck-alcotest) *)
+let count default =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let cluster = { Exec.Config.unbounded with partitions = 7; workers = 3 }
+
+let api_config =
+  { Trance.Api.default_config with cluster; trace = true }
+
+let run_fault ?(config = api_config) ~spec strategy q =
+  let prog = Nrc.Program.of_expr ~inputs:Fixtures.inputs_ty ~name:"Q" q in
+  Trance.Api.run
+    ~config:{ config with Trance.Api.faults = spec }
+    ~strategy prog Fixtures.inputs_val
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing *)
+
+let test_spec_parsing () =
+  let ok s = match F.spec_of_string s with Ok sp -> sp | Error m -> failwith m in
+  let sp = ok "crash:stage=2" in
+  check "crash kind" true (sp.F.kind = F.Worker_crash);
+  check_int "crash stage" 2 sp.F.stage;
+  let sp = ok "task:stage=1,fails=3" in
+  check "task kind" true (sp.F.kind = F.Task_failure);
+  check_int "task fails" 3 sp.F.fails;
+  let sp = ok "straggler:mult=6" in
+  check "straggler mult" true (sp.F.multiplier = 6.);
+  check_int "straggler default stage" 0 sp.F.stage;
+  let sp = ok "memsqueeze:factor=0.25" in
+  check "squeeze factor" true (sp.F.factor = 0.25);
+  check "fetch defaults" true (ok "fetch" = F.default_spec F.Fetch_failure);
+  (* canonical form round-trips *)
+  List.iter
+    (fun s -> check ("round-trip " ^ s) true (ok (F.spec_to_string (ok s)) = ok s))
+    [ "crash:stage=2"; "task:fails=2"; "fetch:stage=3"; "straggler:mult=8";
+      "memsqueeze:factor=0.5" ];
+  (* rejections *)
+  List.iter
+    (fun s ->
+      check ("reject " ^ s) true (Result.is_error (F.spec_of_string s)))
+    [ "meteor"; "task:stage=-1"; "task:fails=0"; "straggler:mult=0.5";
+      "memsqueeze:factor=2"; "crash:bogus=1" ]
+
+(* ------------------------------------------------------------------ *)
+(* The differential campaign: corpus x strategy x fault x stage *)
+
+let strategies =
+  [
+    ("Standard", Trance.Api.Standard, api_config);
+    ("Shred+Unshred", Trance.Api.Shredded { unshred = true }, api_config);
+    ( "Standard+skew",
+      Trance.Api.Standard,
+      { api_config with
+        Trance.Api.skew_aware = true;
+        cluster = { cluster with broadcast_limit = 64 } } );
+  ]
+
+let fault_specs =
+  List.concat_map
+    (fun stage ->
+      [
+        { (F.default_spec F.Worker_crash) with F.stage };
+        { (F.default_spec F.Task_failure) with F.stage; fails = 2 };
+        { (F.default_spec F.Fetch_failure) with F.stage; fails = 2 };
+        { (F.default_spec F.Straggler) with F.stage };
+      ])
+    [ 1; 4 ]
+
+(* aggregated recovery counters in the span tree = flat Stats counters:
+   "recomputed bytes accounted exactly in the span tree" *)
+let check_recovery_totals what (r : Trance.Api.run) =
+  let t = Trace.agg r.Trance.Api.trace in
+  let s = r.Trance.Api.stats in
+  check_int (what ^ ": span task_retries") (Exec.Stats.task_retries s)
+    t.Trace.task_retries;
+  check_int (what ^ ": span retried_tasks") (Exec.Stats.retried_tasks s)
+    t.Trace.retried_tasks;
+  check_int (what ^ ": span speculative") (Exec.Stats.speculative_tasks s)
+    t.Trace.speculative_tasks;
+  check_int (what ^ ": span recomputed") (Exec.Stats.recomputed_bytes s)
+    t.Trace.recomputed_bytes
+
+let check_attempt_bounds what (spec : F.spec) (r : Trance.Api.run) =
+  let s = r.Trance.Api.stats in
+  let per_task = max (cluster.Exec.Config.max_task_attempts - 1) spec.F.fails in
+  check (what ^ ": retried tasks bounded by partitions") true
+    (Exec.Stats.retried_tasks s <= cluster.Exec.Config.partitions);
+  check (what ^ ": retries within attempt budget") true
+    (Exec.Stats.task_retries s <= Exec.Stats.retried_tasks s * per_task)
+
+let campaign_tests =
+  List.concat_map
+    (fun (name, q) ->
+      List.concat_map
+        (fun (sname, strategy, config) ->
+          List.map
+            (fun spec ->
+              let what =
+                Printf.sprintf "%s [%s] %s" name sname (F.spec_to_string spec)
+              in
+              Alcotest.test_case what `Quick (fun () ->
+                  let reference = Fixtures.eval_ref q in
+                  let r = run_fault ~config ~spec:(Some spec) strategy q in
+                  (match r.Trance.Api.failure with
+                  | None ->
+                    (* recovered: the answer is the reference answer *)
+                    (match r.Trance.Api.value with
+                    | Some v ->
+                      check (what ^ ": recovers to reference") true
+                        (V.approx_bag_equal reference v)
+                    | None -> Alcotest.fail (what ^ ": no value, no failure"))
+                  | Some (Trance.Api.Task_failed _)
+                  | Some (Trance.Api.Out_of_memory _) ->
+                    () (* typed failure: acceptable, never a wrong answer *)
+                  | Some (Trance.Api.Error m) ->
+                    Alcotest.fail (what ^ ": untyped failure " ^ m));
+                  check_attempt_bounds what spec r;
+                  check_recovery_totals what r;
+                  (* same seed => identical span tree and counters *)
+                  let r2 = run_fault ~config ~spec:(Some spec) strategy q in
+                  check (what ^ ": deterministic span tree") true
+                    (Trace.spans_json r.Trance.Api.trace
+                    = Trace.spans_json r2.Trance.Api.trace);
+                  check (what ^ ": deterministic counters") true
+                    (Exec.Stats.snapshot r.Trance.Api.stats
+                    = Exec.Stats.snapshot r2.Trance.Api.stats)))
+            fault_specs)
+        strategies)
+    Fixtures.corpus
+
+(* ------------------------------------------------------------------ *)
+(* Targeted recovery semantics *)
+
+(* exhausting the attempt budget surfaces as a typed Task_failed, with the
+   wasted attempts still accounted *)
+let test_task_exhaustion () =
+  let spec = { (F.default_spec F.Task_failure) with F.fails = 99 } in
+  let r = run_fault ~spec:(Some spec) Trance.Api.Standard Fixtures.example1 in
+  (match r.Trance.Api.failure with
+  | Some (Trance.Api.Task_failed { attempts; _ }) ->
+    check_int "abandoned after the full attempt budget"
+      cluster.Exec.Config.max_task_attempts attempts
+  | other ->
+    Alcotest.failf "expected Task_failed, got %s"
+      (match other with
+      | None -> "success"
+      | Some f -> Trance.Api.failure_message f));
+  check "outcome is Failed" true (Trance.Api.outcome r = Trance.Api.Failed);
+  check_int "wasted retries accounted"
+    (cluster.Exec.Config.max_task_attempts - 1)
+    (Exec.Stats.task_retries r.Trance.Api.stats);
+  check_recovery_totals "task exhaustion" r
+
+(* a worker crash is always recoverable: lineage re-execution retries every
+   partition of the dead worker and the answer is unchanged *)
+let test_crash_recovers () =
+  let spec = F.default_spec F.Worker_crash in
+  let r = run_fault ~spec:(Some spec) Trance.Api.Standard Fixtures.example1 in
+  check "no failure" true (r.Trance.Api.failure = None);
+  check "lost partitions were retried" true
+    (Exec.Stats.task_retries r.Trance.Api.stats > 0);
+  check "outcome is Degraded" true
+    (Trance.Api.outcome r = Trance.Api.Degraded);
+  let reference = Fixtures.eval_ref Fixtures.example1 in
+  check "answer unchanged" true
+    (V.approx_bag_equal reference (Option.get r.Trance.Api.value))
+
+(* speculation races a duplicate against the straggler and wins; without it
+   the stage just waits the full multiplier out *)
+let test_straggler_speculation () =
+  let spec = { (F.default_spec F.Straggler) with F.multiplier = 8. } in
+  let with_spec = run_fault ~spec:(Some spec) Trance.Api.Standard Fixtures.example1 in
+  let no_spec_config =
+    { api_config with
+      Trance.Api.cluster = { cluster with speculation = false } }
+  in
+  let without =
+    run_fault ~config:no_spec_config ~spec:(Some spec) Trance.Api.Standard
+      Fixtures.example1
+  in
+  check_int "speculative duplicate launched" 1
+    (Exec.Stats.speculative_tasks with_spec.Trance.Api.stats);
+  check_int "no duplicate without speculation" 0
+    (Exec.Stats.speculative_tasks without.Trance.Api.stats);
+  check "speculation is never slower" true
+    (Exec.Stats.sim_seconds with_spec.Trance.Api.stats
+    <= Exec.Stats.sim_seconds without.Trance.Api.stats +. 1e-12);
+  List.iter
+    (fun (r : Trance.Api.run) ->
+      check "straggler runs recover" true (r.Trance.Api.failure = None))
+    [ with_spec; without ]
+
+(* a transient fetch failure re-fetches at a shuffle site and recovers *)
+let test_fetch_recovers () =
+  let spec = { (F.default_spec F.Fetch_failure) with F.fails = 2 } in
+  let r = run_fault ~spec:(Some spec) Trance.Api.Standard Fixtures.example1 in
+  check "no failure" true (r.Trance.Api.failure = None);
+  check_int "both re-fetch attempts counted" 2
+    (Exec.Stats.task_retries r.Trance.Api.stats);
+  check_int "one task re-fetched" 1
+    (Exec.Stats.retried_tasks r.Trance.Api.stats)
+
+(* a memory squeeze degrades gracefully into the typed OOM failure, with
+   the squeezed (not the configured) budget reported *)
+let test_memsqueeze_typed_oom () =
+  let clean = run_fault ~spec:None Trance.Api.Standard Fixtures.example1 in
+  let peak = Exec.Stats.peak_worker_bytes clean.Trance.Api.stats in
+  check "clean run has a positive peak" true (peak > 0);
+  let budget = 2 * peak in
+  let config =
+    { api_config with
+      Trance.Api.cluster = { cluster with worker_mem = budget } }
+  in
+  let ok = run_fault ~config ~spec:None Trance.Api.Standard Fixtures.example1 in
+  check "budget fits without the squeeze" true (ok.Trance.Api.failure = None);
+  let spec = { (F.default_spec F.Mem_squeeze) with F.factor = 0.25 } in
+  let r = run_fault ~config ~spec:(Some spec) Trance.Api.Standard Fixtures.example1 in
+  match r.Trance.Api.failure with
+  | Some (Trance.Api.Out_of_memory { budget = squeezed; _ }) ->
+    check "squeezed budget reported" true (squeezed < budget);
+    check "outcome is Failed" true (Trance.Api.outcome r = Trance.Api.Failed)
+  | other ->
+    Alcotest.failf "expected Out_of_memory, got %s"
+      (match other with
+      | None -> "success"
+      | Some f -> Trance.Api.failure_message f)
+
+(* a clean run is byte-identical to itself: the baseline the injected
+   determinism checks rest on *)
+let test_clean_deterministic () =
+  let a = run_fault ~spec:None Trance.Api.Standard Fixtures.example1 in
+  let b = run_fault ~spec:None Trance.Api.Standard Fixtures.example1 in
+  check "span trees identical" true
+    (Trace.spans_json a.Trance.Api.trace = Trace.spans_json b.Trance.Api.trace);
+  check "counters identical" true
+    (Exec.Stats.snapshot a.Trance.Api.stats
+    = Exec.Stats.snapshot b.Trance.Api.stats);
+  check "clean outcome is Completed" true
+    (Trance.Api.outcome a = Trance.Api.Completed)
+
+(* ------------------------------------------------------------------ *)
+(* Random campaign: random query x random fault, never a wrong answer *)
+
+let gen_spec : F.spec QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* kind =
+    oneofl
+      [ F.Worker_crash; F.Task_failure; F.Fetch_failure; F.Straggler;
+        F.Mem_squeeze ]
+  in
+  let* stage = int_bound 5 in
+  let* fails = int_range 1 5 in
+  let* multiplier = map float_of_int (int_range 2 10) in
+  { (F.default_spec kind) with F.stage; fails; multiplier; factor = 0.5 }
+  |> return
+
+let arbitrary_fault_case =
+  QCheck.make
+    ~print:(fun (case, sp) ->
+      Printf.sprintf "%s\nfault: %s" (Qgen.print_case case) (F.spec_to_string sp))
+    QCheck.Gen.(pair (QCheck.gen Qgen.arbitrary_case) gen_spec)
+
+let run_random ~spec q inputs =
+  let prog = Nrc.Program.of_expr ~inputs:Qgen.inputs_ty ~name:"Q" q in
+  Trance.Api.run
+    ~config:{ api_config with Trance.Api.faults = Some spec }
+    ~strategy:Trance.Api.Standard prog inputs
+
+let prop_fault_never_wrong =
+  QCheck.Test.make
+    ~name:"random query x random fault: reference answer or typed failure"
+    ~count:(count 150) arbitrary_fault_case (fun ((q, inputs), spec) ->
+      let expected = Nrc.Eval.eval (Nrc.Eval.env_of_list inputs) q in
+      let r = run_random ~spec q inputs in
+      let t = Trace.agg r.Trance.Api.trace in
+      let s = r.Trance.Api.stats in
+      t.Trace.task_retries = Exec.Stats.task_retries s
+      && t.Trace.recomputed_bytes = Exec.Stats.recomputed_bytes s
+      &&
+      match r.Trance.Api.failure, r.Trance.Api.value with
+      | None, Some v -> V.approx_bag_equal expected v
+      | None, None -> false
+      | Some (Trance.Api.Task_failed _ | Trance.Api.Out_of_memory _), _ ->
+        true
+      | Some (Trance.Api.Error _), _ -> false)
+
+let prop_fault_deterministic =
+  QCheck.Test.make
+    ~name:"random query x random fault: same seed, same run"
+    ~count:(count 100) arbitrary_fault_case (fun ((q, inputs), spec) ->
+      let a = run_random ~spec q inputs in
+      let b = run_random ~spec q inputs in
+      Trace.spans_json a.Trance.Api.trace = Trace.spans_json b.Trance.Api.trace
+      && Exec.Stats.snapshot a.Trance.Api.stats
+         = Exec.Stats.snapshot b.Trance.Api.stats
+      && a.Trance.Api.failure = b.Trance.Api.failure)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "spec parsing",
+        [ Alcotest.test_case "parse / round-trip / reject" `Quick
+            test_spec_parsing ] );
+      ("corpus campaign", campaign_tests);
+      ( "recovery semantics",
+        [
+          Alcotest.test_case "task attempt budget exhausts typed" `Quick
+            test_task_exhaustion;
+          Alcotest.test_case "worker crash recovers from lineage" `Quick
+            test_crash_recovers;
+          Alcotest.test_case "straggler speculation first-wins" `Quick
+            test_straggler_speculation;
+          Alcotest.test_case "fetch failure re-fetches and recovers" `Quick
+            test_fetch_recovers;
+          Alcotest.test_case "memory squeeze fails typed" `Quick
+            test_memsqueeze_typed_oom;
+          Alcotest.test_case "clean runs are deterministic" `Quick
+            test_clean_deterministic;
+        ] );
+      ( "random campaign",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_fault_never_wrong; prop_fault_deterministic ] );
+    ]

@@ -6,6 +6,14 @@
     repository. *)
 
 module V = Nrc.Value
+module E = Nrc.Expr
+
+(* per-property case count; QCHECK_COUNT scales the whole suite up for the
+   nightly campaign (the seed comes from QCHECK_SEED via qcheck-alcotest) *)
+let count default =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
 
 let cluster = { Exec.Config.unbounded with partitions = 6; workers = 3 }
 let api_config = { Trance.Api.default_config with cluster }
@@ -23,16 +31,9 @@ let prop_plan_agrees =
       V.approx_bag_equal expected actual)
 
 let prop_optimized_plan_agrees =
-  QCheck.Test.make ~name:"random query: optimized plan = reference" ~count:250
-    Qgen.arbitrary_case (fun (q, inputs) ->
+  QCheck.Test.make ~name:"random query: optimized plan = reference"
+    ~count:(count 250) Qgen.arbitrary_case (fun (q, inputs) ->
       let expected = reference q inputs in
-      let config =
-        { Plan.Optimize.default with unique_keys = [ ("S", [ "a" ]) ] }
-        (* note: S.a is NOT unique in the generated data; the hint must not
-           fire incorrectly because the optimizer only uses it for scans
-           joined on exactly the declared key... it is, so use R instead *)
-      in
-      ignore config;
       let plan =
         Plan.Optimize.optimize ~config:Plan.Optimize.default
           (Trance.Unnest.translate ~tenv:Qgen.inputs_ty q)
@@ -42,13 +43,86 @@ let prop_optimized_plan_agrees =
       in
       V.approx_bag_equal expected actual)
 
+let prop_unique_hint_agrees =
+  QCheck.Test.make
+    ~name:"random query: optimized plan with unique-key hint = reference"
+    ~count:(count 250) Qgen.arbitrary_case (fun (q, inputs) ->
+      (* deduplicate S on [a] so it is genuinely unique, then optimize with
+         the matching hint: the aggregation-pushdown path (licensed by the
+         declared key) must stay semantics-preserving *)
+      let inputs = Qgen.dedup_s inputs in
+      let expected = reference q inputs in
+      let config =
+        { Plan.Optimize.default with unique_keys = [ ("S", [ "a" ]) ] }
+      in
+      let plan =
+        Plan.Optimize.optimize ~config
+          (Trance.Unnest.translate ~tenv:Qgen.inputs_ty q)
+      in
+      let actual =
+        Plan.Local_eval.eval_to_bag (Plan.Local_eval.env_of_list inputs) plan
+      in
+      V.approx_bag_equal expected actual)
+
+(* the hint is not dead weight: on a SumBy over a join against S's declared
+   key, the hinted optimizer must produce a structurally different
+   (pushed-down) plan than the unhinted one *)
+let test_hint_fires () =
+  let q =
+    E.ForUnion
+      ( "n",
+        E.Var "N",
+        E.Singleton
+          (E.Record
+             [
+               ("k", E.Proj (E.Var "n", "k"));
+               ( "items",
+                 E.SumBy
+                   { keys = [ "a" ];
+                     values = [ "t" ];
+                     input =
+                       E.ForUnion
+                         ( "it",
+                           E.Proj (E.Var "n", "items"),
+                           E.ForUnion
+                             ( "y",
+                               E.Var "S",
+                               E.If
+                                 ( E.Cmp
+                                     ( E.Eq,
+                                       E.Proj (E.Var "it", "a"),
+                                       E.Proj (E.Var "y", "a") ),
+                                   E.Singleton
+                                     (E.Record
+                                        [
+                                          ("a", E.Proj (E.Var "it", "a"));
+                                          ( "t",
+                                            E.Prim
+                                              ( E.Mul,
+                                                E.Proj (E.Var "it", "q"),
+                                                E.Proj (E.Var "y", "w") ) );
+                                        ]),
+                                   None ) ) ) } );
+             ]) )
+  in
+  let base = Trance.Unnest.translate ~tenv:Qgen.inputs_ty q in
+  let hinted =
+    Plan.Optimize.optimize
+      ~config:{ Plan.Optimize.default with unique_keys = [ ("S", [ "a" ]) ] }
+      base
+  in
+  let unhinted = Plan.Optimize.optimize ~config:Plan.Optimize.default base in
+  Alcotest.(check bool)
+    "unique-key hint rewrites the plan (aggregation pushdown fired)" true
+    (hinted <> unhinted)
+
 let run_strategy ?(config = api_config) strategy q inputs =
   let prog = Nrc.Program.of_expr ~inputs:Qgen.inputs_ty ~name:"Q" q in
   Trance.Api.run ~config ~strategy prog inputs
 
 let prop_executor_agrees =
   QCheck.Test.make ~name:"random query: distributed standard = reference"
-    ~count:150 Qgen.arbitrary_case (fun (q, inputs) ->
+    ~count:(count 150) Qgen.arbitrary_case (fun (q, inputs) ->
       let expected = reference q inputs in
       let r = run_strategy Trance.Api.Standard q inputs in
       match r.Trance.Api.value with
@@ -56,8 +130,8 @@ let prop_executor_agrees =
       | None -> false)
 
 let prop_executor_no_cogroup_agrees =
-  QCheck.Test.make ~name:"random query: cogroup off = reference" ~count:100
-    Qgen.arbitrary_case (fun (q, inputs) ->
+  QCheck.Test.make ~name:"random query: cogroup off = reference"
+    ~count:(count 100) Qgen.arbitrary_case (fun (q, inputs) ->
       let expected = reference q inputs in
       let config = { api_config with cogroup = false } in
       let r = run_strategy ~config Trance.Api.Standard q inputs in
@@ -66,8 +140,8 @@ let prop_executor_no_cogroup_agrees =
       | None -> false)
 
 let prop_skew_aware_agrees =
-  QCheck.Test.make ~name:"random query: skew-aware = reference" ~count:100
-    Qgen.arbitrary_case (fun (q, inputs) ->
+  QCheck.Test.make ~name:"random query: skew-aware = reference"
+    ~count:(count 100) Qgen.arbitrary_case (fun (q, inputs) ->
       let expected = reference q inputs in
       let config =
         { api_config with
@@ -81,7 +155,7 @@ let prop_skew_aware_agrees =
 
 let prop_shredded_agrees =
   QCheck.Test.make ~name:"random query: shredded pipeline = reference"
-    ~count:150 Qgen.arbitrary_case (fun (q, inputs) ->
+    ~count:(count 150) Qgen.arbitrary_case (fun (q, inputs) ->
       let expected = reference q inputs in
       let r = run_strategy (Trance.Api.Shredded { unshred = true }) q inputs in
       match r.Trance.Api.value with
@@ -91,7 +165,7 @@ let prop_shredded_agrees =
 let prop_shredded_no_domelim_agrees =
   QCheck.Test.make
     ~name:"random query: shredded without domain elimination = reference"
-    ~count:100 Qgen.arbitrary_case (fun (q, inputs) ->
+    ~count:(count 100) Qgen.arbitrary_case (fun (q, inputs) ->
       let expected = reference q inputs in
       let prog = Nrc.Program.of_expr ~inputs:Qgen.inputs_ty ~name:"Q" q in
       let _, _, actual =
@@ -104,7 +178,7 @@ let prop_shredded_no_domelim_agrees =
 let prop_shuffle_conservation =
   QCheck.Test.make
     ~name:"random query: executor metrics are sane (bytes, rows >= 0)"
-    ~count:100 Qgen.arbitrary_case (fun (q, inputs) ->
+    ~count:(count 100) Qgen.arbitrary_case (fun (q, inputs) ->
       let r = run_strategy Trance.Api.Standard q inputs in
       let s = r.Trance.Api.stats in
       Exec.Stats.shuffled_bytes s >= 0
@@ -120,6 +194,7 @@ let () =
           [
             prop_plan_agrees;
             prop_optimized_plan_agrees;
+            prop_unique_hint_agrees;
             prop_executor_agrees;
             prop_executor_no_cogroup_agrees;
             prop_skew_aware_agrees;
@@ -127,4 +202,6 @@ let () =
             prop_shredded_no_domelim_agrees;
             prop_shuffle_conservation;
           ] );
+      ( "optimizer hints",
+        [ Alcotest.test_case "unique-key hint fires" `Quick test_hint_fires ] );
     ]

@@ -1,0 +1,136 @@
+(** Algebraic properties of the {!Exec.Stats.snapshot} slice arithmetic.
+
+    {!Trance.Api} computes per-step slices with [snapshot] + [diff] and
+    promises that slices [merge] back to the run totals; the fault layer
+    leans on the same algebra for its recovery counters. These properties
+    pin the laws down: [merge] is a commutative monoid with [zero] (peaks
+    by [max], everything else additive), [diff] inverts [merge] on the
+    additive counters, and the recorder entry points land in the snapshot
+    they claim to. [sim_seconds] is generated as whole floats so equality
+    is exact. *)
+
+module S = Exec.Stats
+
+let count default =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let gen_snapshot : S.snapshot QCheck.Gen.t =
+  let open QCheck.Gen in
+  let small = int_bound 10_000 in
+  let* shuffled_bytes = small in
+  let* broadcast_bytes = small in
+  let* peak_worker_bytes = small in
+  let* rows_processed = small in
+  let* stages = int_bound 50 in
+  let* sim_seconds = map float_of_int (int_bound 1_000) in
+  let* task_retries = int_bound 20 in
+  let* retried_tasks = int_bound 20 in
+  let* speculative_tasks = int_bound 5 in
+  let* recomputed_bytes = small in
+  return
+    {
+      S.shuffled_bytes;
+      broadcast_bytes;
+      peak_worker_bytes;
+      rows_processed;
+      stages;
+      sim_seconds;
+      task_retries;
+      retried_tasks;
+      speculative_tasks;
+      recomputed_bytes;
+    }
+
+let arbitrary_snapshot =
+  QCheck.make ~print:(Fmt.str "%a" S.pp_snapshot) gen_snapshot
+
+let pair = QCheck.pair arbitrary_snapshot arbitrary_snapshot
+let triple = QCheck.triple arbitrary_snapshot arbitrary_snapshot arbitrary_snapshot
+
+let prop_merge_zero =
+  QCheck.Test.make ~name:"merge: zero is the identity" ~count:(count 200)
+    arbitrary_snapshot (fun a ->
+      S.merge a S.zero = a && S.merge S.zero a = a)
+
+let prop_merge_comm =
+  QCheck.Test.make ~name:"merge: commutative" ~count:(count 200) pair
+    (fun (a, b) -> S.merge a b = S.merge b a)
+
+let prop_merge_assoc =
+  QCheck.Test.make ~name:"merge: associative" ~count:(count 200) triple
+    (fun (a, b, c) -> S.merge (S.merge a b) c = S.merge a (S.merge b c))
+
+let prop_diff_zero =
+  QCheck.Test.make ~name:"diff: subtracting zero is the identity"
+    ~count:(count 200) arbitrary_snapshot (fun a -> S.diff a S.zero = a)
+
+let prop_diff_self =
+  QCheck.Test.make
+    ~name:"diff: a - a is zero except the high-water peak" ~count:(count 200)
+    arbitrary_snapshot (fun a ->
+      S.diff a a = { S.zero with S.peak_worker_bytes = a.S.peak_worker_bytes })
+
+(* the law the per-step reports rely on: a later snapshot minus an earlier
+   one recovers exactly the counters charged in between (the peak stays a
+   run-wide high-water mark) *)
+let prop_diff_inverts_merge =
+  QCheck.Test.make ~name:"diff: (a merge b) - b recovers a's additive part"
+    ~count:(count 200) pair (fun (a, b) ->
+      let after = S.merge a b in
+      S.diff after b
+      = { a with
+          S.peak_worker_bytes =
+            max a.S.peak_worker_bytes b.S.peak_worker_bytes })
+
+let prop_merge_monotone =
+  QCheck.Test.make ~name:"merge: never loses counters" ~count:(count 200)
+    pair (fun (a, b) ->
+      let m = S.merge a b in
+      m.S.shuffled_bytes = a.S.shuffled_bytes + b.S.shuffled_bytes
+      && m.S.task_retries = a.S.task_retries + b.S.task_retries
+      && m.S.retried_tasks = a.S.retried_tasks + b.S.retried_tasks
+      && m.S.speculative_tasks = a.S.speculative_tasks + b.S.speculative_tasks
+      && m.S.recomputed_bytes = a.S.recomputed_bytes + b.S.recomputed_bytes
+      && m.S.peak_worker_bytes
+         = max a.S.peak_worker_bytes b.S.peak_worker_bytes)
+
+(* the recorder entry points land where they claim to *)
+let test_recorders () =
+  let t = S.create () in
+  S.add_task_retries t 3;
+  S.add_retried_tasks t 2;
+  S.add_speculative t 1;
+  S.add_recomputed t 4096;
+  S.observe_worker t 512;
+  S.observe_worker t 256;
+  let s = S.snapshot t in
+  Alcotest.(check int) "task_retries" 3 s.S.task_retries;
+  Alcotest.(check int) "retried_tasks" 2 s.S.retried_tasks;
+  Alcotest.(check int) "speculative_tasks" 1 s.S.speculative_tasks;
+  Alcotest.(check int) "recomputed_bytes" 4096 s.S.recomputed_bytes;
+  Alcotest.(check int) "peak is a high-water mark" 512 s.S.peak_worker_bytes;
+  Alcotest.(check int) "accessors agree with the snapshot"
+    s.S.task_retries (S.task_retries t);
+  Alcotest.(check bool) "fresh counters are zero except nothing" true
+    (S.snapshot (S.create ()) = S.zero)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "snapshot algebra",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_merge_zero;
+            prop_merge_comm;
+            prop_merge_assoc;
+            prop_diff_zero;
+            prop_diff_self;
+            prop_diff_inverts_merge;
+            prop_merge_monotone;
+          ] );
+      ( "recorders",
+        [ Alcotest.test_case "add_* and observe_worker" `Quick test_recorders ]
+      );
+    ]
