@@ -12,7 +12,10 @@
     - [ablate]: ablations of the design choices DESIGN.md calls out
       (domain elimination, cogroup fusion, aggregation pushdown);
     - [faults]: recovery overhead of each injectable fault (worker crash,
-      task failure, fetch failure, straggler) per strategy;
+      task failure, fetch failure, straggler, memory squeeze) per strategy;
+    - [memory]: graceful degradation under memory pressure — a shrinking
+      per-worker budget ladder showing the in-memory / spilling /
+      route-fallback crossover per strategy;
     - [micro]: Bechamel micro-benchmarks of core primitives.
 
     Absolute numbers are simulator output; the paper-vs-measured *shape*
@@ -30,7 +33,9 @@ let json_path : string option ref = ref None
 let sc n = max 1 (int_of_float (float_of_int n *. !scale_factor))
 
 (* Per-figure worker memory defaults (MB), calibrated so the simulator's
-   FAIL pattern matches the paper's (see EXPERIMENTS.md); --mem overrides. *)
+   FAIL pattern matches the paper's (see EXPERIMENTS.md); --mem overrides.
+   Spilling and route fallback are pinned off here: the figures reproduce
+   the paper's FAIL bars; the [memory] target turns them on explicitly. *)
 let cluster ~default_mem () =
   let mem = Option.value !mem_mb ~default:default_mem in
   {
@@ -39,12 +44,14 @@ let cluster ~default_mem () =
     partitions = 100;
     worker_mem = int_of_float (mem *. 1048576.);
     broadcast_limit = 2 * 1024;
+    spill = Exec.Config.Off;
   }
 
 let base_config ~default_mem () =
   { Trance.Api.default_config with
     cluster = cluster ~default_mem ();
     collect = false;
+    route_fallback = false;
     optimizer =
       { Plan.Optimize.default with
         unique_keys = [ ("Part", [ "pkey" ]); ("GeneMeta", [ "gid" ]) ] } }
@@ -429,35 +436,56 @@ let faults_sweep () =
   let db = Tpch.Generator.generate (tpch_scale ()) in
   let inputs = Tpch.Queries.input_values ~wide:false ~family ~level db in
   let base = base_config ~default_mem:10000. () in
+  (* the memory squeeze only bites against a finite budget: give it a
+     tight one and let it spill rather than FAIL *)
+  let squeezed (c : Trance.Api.config) =
+    { c with
+      Trance.Api.cluster =
+        { c.Trance.Api.cluster with
+          worker_mem = 1048576;
+          spill = Exec.Config.On } }
+  in
+  let keep c = c in
   let fault_specs =
     [
-      ("none", None);
-      ("crash:stage=1", Some (Exec.Faults.default_spec Exec.Faults.Worker_crash));
+      ("none", None, keep);
+      ( "crash:stage=1",
+        Some (Exec.Faults.default_spec Exec.Faults.Worker_crash),
+        keep );
       ( "task:stage=1,fails=2",
         Some
           { (Exec.Faults.default_spec Exec.Faults.Task_failure) with
             Exec.Faults.stage = 1;
-            fails = 2 } );
+            fails = 2 },
+        keep );
       ( "fetch:stage=1,fails=2",
         Some
           { (Exec.Faults.default_spec Exec.Faults.Fetch_failure) with
             Exec.Faults.stage = 1;
-            fails = 2 } );
+            fails = 2 },
+        keep );
       ( "straggler:stage=1,mult=8",
         Some
           { (Exec.Faults.default_spec Exec.Faults.Straggler) with
-            Exec.Faults.stage = 1 } );
+            Exec.Faults.stage = 1 },
+        keep );
+      ( "memsqueeze:factor=0.25 @1MB",
+        Some
+          { (Exec.Faults.default_spec Exec.Faults.Mem_squeeze) with
+            Exec.Faults.factor = 0.25 },
+        squeezed );
     ]
   in
-  Printf.printf "%-16s %-26s %9s %9s %7s %7s %10s  %s\n" "strategy" "fault"
-    "sim(s)" "overhead" "retries" "spec" "recompKB" "outcome";
-  Printf.printf "%s\n" (String.make 100 '-');
+  Printf.printf "%-16s %-26s %9s %9s %7s %7s %10s %10s %6s  %s\n" "strategy"
+    "fault" "sim(s)" "overhead" "retries" "spec" "recompKB" "spilledKB"
+    "rounds" "outcome";
+  Printf.printf "%s\n" (String.make 118 '-');
   List.iter
     (fun strategy ->
       let clean = ref 0. in
       List.iter
-        (fun (fname, spec) ->
-          let config = { base with Trance.Api.faults = spec } in
+        (fun (fname, spec, tweak) ->
+          let config = tweak { base with Trance.Api.faults = spec } in
           let label =
             Printf.sprintf "%s/%s" (Trance.Api.strategy_name strategy) fname
           in
@@ -469,11 +497,13 @@ let faults_sweep () =
             if spec = None || !clean <= 0. then "-"
             else Printf.sprintf "%+.1f%%" ((sim /. !clean -. 1.) *. 100.)
           in
-          Printf.printf "%-16s %-26s %9.4f %9s %7d %7d %10.1f  %s\n"
+          Printf.printf "%-16s %-26s %9.4f %9s %7d %7d %10.1f %10.1f %6d  %s\n"
             r.Trance.Api.strategy fname sim overhead
             (Exec.Stats.task_retries s)
             (Exec.Stats.speculative_tasks s)
             (float_of_int (Exec.Stats.recomputed_bytes s) /. 1024.)
+            (float_of_int (Exec.Stats.spilled_bytes s) /. 1024.)
+            (Exec.Stats.spill_rounds s)
             (Trance.Api.outcome_name (Trance.Api.outcome r)))
         fault_specs)
     [
@@ -481,6 +511,84 @@ let faults_sweep () =
       Trance.Api.Shredded { unshred = false };
       Trance.Api.Shredded { unshred = true };
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Memory pressure: sweep the per-worker budget from comfortable to
+   starved and show the in-memory / spilling / fell-back crossover. The
+   ladder is calibrated against the clean Standard peak so the same
+   regimes appear at any --scale. *)
+
+let memory () =
+  Printf.printf
+    "\n=== Memory pressure: nested-to-nested L2, shrinking worker budgets ===\n";
+  let family = Tpch.Queries.Nested_to_nested and level = 2 in
+  let prog = Tpch.Queries.program ~wide:false ~family ~level () in
+  let db = Tpch.Generator.generate (tpch_scale ()) in
+  let inputs = Tpch.Queries.input_values ~wide:false ~family ~level db in
+  let base = base_config ~default_mem:10000. () in
+  let calibrate =
+    api_run ~label:"calibrate/Standard" ~config:base
+      ~strategy:Trance.Api.Standard prog inputs
+  in
+  let peak = Exec.Stats.peak_worker_bytes calibrate.Trance.Api.stats in
+  Printf.printf "clean Standard peak: %.2fMB per worker\n\n" (mb peak);
+  let variants =
+    [
+      ( "Standard (spill off)",
+        Trance.Api.Standard,
+        fun (c : Trance.Api.config) -> c );
+      ( "Standard (spill on)",
+        Trance.Api.Standard,
+        fun (c : Trance.Api.config) ->
+          { c with
+            Trance.Api.route_fallback = true;
+            cluster =
+              { c.Trance.Api.cluster with
+                spill = Exec.Config.On;
+                max_spill_rounds = 8 } } );
+      ( "Shred+U (spill on)",
+        Trance.Api.Shredded { unshred = true },
+        fun (c : Trance.Api.config) ->
+          { c with
+            Trance.Api.cluster =
+              { c.Trance.Api.cluster with spill = Exec.Config.On } } );
+    ]
+  in
+  Printf.printf "%-22s %9s %9s %10s %6s %6s  %s\n" "strategy" "memMB" "sim(s)"
+    "spilledMB" "parts" "rounds" "regime";
+  Printf.printf "%s\n" (String.make 86 '-');
+  List.iter
+    (fun frac ->
+      List.iter
+        (fun (vname, strategy, tweak) ->
+          let budget = max 1 (int_of_float (float_of_int peak *. frac)) in
+          let config =
+            tweak
+              { base with
+                Trance.Api.cluster =
+                  { (cluster ~default_mem:10000. ()) with worker_mem = budget } }
+          in
+          let label = Printf.sprintf "%s/%.3fxpeak" vname frac in
+          let r = api_run ~label ~config ~strategy prog inputs in
+          let s = r.Trance.Api.stats in
+          let regime =
+            match Trance.Api.outcome r, r.Trance.Api.degradation with
+            | Trance.Api.Failed, _ -> "FAIL"
+            | _, Some d when d.Trance.Api.fell_back ->
+              "fell back to " ^ d.Trance.Api.answered_by
+            | _, Some _ -> "spilling"
+            | _, None -> "in-memory"
+          in
+          Printf.printf "%-22s %9.2f %9.4f %10.2f %6d %6d  %s\n" vname
+            (mb budget)
+            (Exec.Stats.sim_seconds s)
+            (mb (Exec.Stats.spilled_bytes s))
+            (Exec.Stats.spill_partitions s)
+            (Exec.Stats.spill_rounds s)
+            regime)
+        variants;
+      print_newline ())
+    [ 1.25; 0.5; 0.25; 1. /. 16.; 1. /. 64. ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
@@ -552,6 +660,7 @@ let all_targets =
     ("scaling", scaling);
     ("cost_model", cost_model);
     ("faults", faults_sweep);
+    ("memory", memory);
     ("micro", micro);
   ]
 
@@ -617,7 +726,7 @@ let targets_arg =
         ~doc:
           "Benchmark targets to run, in order (default: all). Available: \
            fig7_narrow, fig7_wide, fig8_skew, fig9_biomed, ablate, scaling, \
-           cost_model, faults, micro.")
+           cost_model, faults, memory, micro.")
 
 let main scale mem json ts =
   scale_factor := scale;

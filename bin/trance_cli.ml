@@ -102,17 +102,42 @@ let inject_arg =
            Spark-style. Syntax: crash:stage=2, task:stage=1,fails=2, \
            fetch:stage=3, straggler:stage=1,mult=8, \
            memsqueeze:stage=0,factor=0.25. Recovery cost (retries, \
-           speculative tasks, recomputed bytes) shows in the stats and the \
-           trace.")
+           speculative tasks, recomputed bytes, spilled bytes) shows in the \
+           stats and the trace.")
 
-let api_config ~mem ~skew_aware ?(trace = false) ?faults () =
+let spill_arg =
+  let parse s = Result.map_error (fun m -> `Msg m) (Exec.Config.spill_of_string s) in
+  let print ppf sp = Fmt.string ppf (Exec.Config.spill_name sp) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Exec.Config.default.Exec.Config.spill
+    & info [ "spill" ] ~docv:"on|off"
+        ~doc:
+          "Let over-budget operators spill their build side to simulated \
+           disk (grace-hash partitioning, charged as spilled bytes and disk \
+           time) instead of failing. With off the run reproduces the paper's \
+           FAIL outcomes.")
+
+let no_fallback_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fallback" ]
+        ~doc:
+          "Disable the adaptive route fallback: a standard-route run that \
+           exhausts worker memory fails instead of re-planning down the \
+           shredded route.")
+
+let api_config ~mem ~skew_aware ?(spill = Exec.Config.default.Exec.Config.spill)
+    ?(no_fallback = false) ?(trace = false) ?faults () =
   { Trance.Api.default_config with
     skew_aware;
     trace;
     faults;
+    route_fallback = not no_fallback;
     cluster =
       { Exec.Config.default with
-        worker_mem = int_of_float (mem *. 1048576.) };
+        worker_mem = int_of_float (mem *. 1048576.);
+        spill };
     optimizer =
       { Plan.Optimize.default with unique_keys = [ ("Part", [ "pkey" ]) ] } }
 
@@ -124,15 +149,17 @@ let print_trace (r : Trance.Api.run) =
   let s = r.Trance.Api.stats in
   let mb b = float_of_int b /. 1048576. in
   Fmt.pr
-    "trace totals: shuffle=%.2fMB bcast=%.2fMB peak=%.2fMB (flat stats \
-     agree: %s)@."
+    "trace totals: shuffle=%.2fMB bcast=%.2fMB peak=%.2fMB spilled=%.2fMB \
+     (flat stats agree: %s)@."
     (mb t.Exec.Trace.shuffled_bytes)
     (mb t.Exec.Trace.broadcast_bytes)
     (mb t.Exec.Trace.peak_worker_bytes)
+    (mb t.Exec.Trace.spilled_bytes)
     (if
        t.Exec.Trace.shuffled_bytes = Exec.Stats.shuffled_bytes s
        && t.Exec.Trace.broadcast_bytes = Exec.Stats.broadcast_bytes s
        && t.Exec.Trace.peak_worker_bytes = Exec.Stats.peak_worker_bytes s
+       && t.Exec.Trace.spilled_bytes = Exec.Stats.spilled_bytes s
      then "yes"
      else "NO")
 
@@ -193,23 +220,41 @@ let print_outcome (r : Trance.Api.run) =
   match Trance.Api.outcome r with
   | Trance.Api.Degraded ->
     let s = r.Trance.Api.stats in
-    Fmt.pr
-      "recovered from injected fault: %d retries, %d retried tasks, %d \
-       speculative, %.1fKB recomputed@."
-      (Exec.Stats.task_retries s)
-      (Exec.Stats.retried_tasks s)
-      (Exec.Stats.speculative_tasks s)
-      (float_of_int (Exec.Stats.recomputed_bytes s) /. 1024.)
+    if
+      Exec.Stats.task_retries s > 0
+      || Exec.Stats.speculative_tasks s > 0
+      || Exec.Stats.recomputed_bytes s > 0
+    then
+      Fmt.pr
+        "recovered from injected fault: %d retries, %d retried tasks, %d \
+         speculative, %.1fKB recomputed@."
+        (Exec.Stats.task_retries s)
+        (Exec.Stats.retried_tasks s)
+        (Exec.Stats.speculative_tasks s)
+        (float_of_int (Exec.Stats.recomputed_bytes s) /. 1024.);
+    Option.iter
+      (fun (d : Trance.Api.degradation) ->
+        if d.Trance.Api.fell_back then
+          Fmt.pr "standard route exhausted memory (%s); fell back to %s@."
+            (match d.Trance.Api.first_failure with
+            | Some f -> Trance.Api.failure_message f
+            | None -> "out of memory")
+            d.Trance.Api.answered_by;
+        if d.Trance.Api.spilled_bytes > 0 then
+          Fmt.pr "spilled %.1fKB across %d build partitions (%d rounds)@."
+            (float_of_int d.Trance.Api.spilled_bytes /. 1024.)
+            d.Trance.Api.spill_partitions d.Trance.Api.spill_rounds)
+      r.Trance.Api.degradation
   | Trance.Api.Completed | Trance.Api.Failed -> ()
 
-let run_cell family level wide skew customers strategy skew_aware mem trace
-    json inject =
+let run_cell family level wide skew customers strategy skew_aware mem spill
+    no_fallback trace json inject =
   let db = make_db ~customers ~skew in
   let prog = Tpch.Queries.program ~wide ~family ~level () in
   let inputs = Tpch.Queries.input_values ~wide ~family ~level db in
   let config =
-    api_config ~mem ~skew_aware ~trace:(trace || json <> None) ?faults:inject
-      ()
+    api_config ~mem ~skew_aware ~spill ~no_fallback
+      ~trace:(trace || json <> None) ?faults:inject ()
   in
   let r = Trance.Api.run ~config ~strategy prog inputs in
   Fmt.pr "%a@." Trance.Api.pp_run r;
@@ -236,8 +281,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a TPC-H query cell on the cluster simulator.")
     Term.(
       const run_cell $ family_arg $ level_arg $ wide_arg $ skew_arg $ scale_arg
-      $ strategy_arg $ skew_aware_arg $ mem_arg $ trace_arg $ json_arg
-      $ inject_arg)
+      $ strategy_arg $ skew_aware_arg $ mem_arg $ spill_arg $ no_fallback_arg
+      $ trace_arg $ json_arg $ inject_arg)
 
 (* ------------------------------------------------------------------ *)
 (* biomed: the E2E pipeline *)
@@ -245,15 +290,16 @@ let run_cmd =
 let small_arg =
   Arg.(value & flag & info [ "small" ] ~doc:"Use the small dataset variant.")
 
-let run_biomed strategy skew_aware mem small trace json inject =
+let run_biomed strategy skew_aware mem spill no_fallback small trace json
+    inject =
   let scale =
     if small then Biomed.Generator.small_scale else Biomed.Generator.full_scale
   in
   let db = Biomed.Generator.generate scale in
   let inputs = Biomed.Generator.inputs db in
   let config =
-    api_config ~mem ~skew_aware ~trace:(trace || json <> None) ?faults:inject
-      ()
+    api_config ~mem ~skew_aware ~spill ~no_fallback
+      ~trace:(trace || json <> None) ?faults:inject ()
   in
   let r = Trance.Api.run ~config ~strategy Biomed.Pipeline.program inputs in
   Fmt.pr "%a@." Trance.Api.pp_run r;
@@ -271,8 +317,8 @@ let biomed_cmd =
   Cmd.v
     (Cmd.info "biomed" ~doc:"Run the biomedical E2E pipeline (Figure 9).")
     Term.(
-      const run_biomed $ strategy_arg $ skew_aware_arg $ mem_arg $ small_arg
-      $ trace_arg $ json_arg $ inject_arg)
+      const run_biomed $ strategy_arg $ skew_aware_arg $ mem_arg $ spill_arg
+      $ no_fallback_arg $ small_arg $ trace_arg $ json_arg $ inject_arg)
 
 (* ------------------------------------------------------------------ *)
 (* query: parse and run a textual NRC query against generated TPC-H data *)

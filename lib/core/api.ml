@@ -43,6 +43,9 @@ type config = {
   collect : bool; (* gather the result value back to the driver *)
   trace : bool; (* record per-operator execution span trees *)
   faults : Exec.Faults.spec option; (* inject one fault per run *)
+  route_fallback : bool;
+      (* when the standard route dies of memory exhaustion, re-plan the
+         same program down the shredded route and answer from there *)
 }
 
 let default_config =
@@ -55,6 +58,7 @@ let default_config =
     collect = true;
     trace = false;
     faults = None;
+    route_fallback = true;
   }
 
 type failure =
@@ -64,16 +68,30 @@ type failure =
       (** an injected task failure exhausted its attempt budget *)
   | Error of string
 
+let pp_bytes b =
+  if b >= 1048576 then Printf.sprintf "%.1fMB" (float_of_int b /. 1048576.)
+  else Printf.sprintf "%.1fKB" (float_of_int b /. 1024.)
+
 let failure_message = function
   | Out_of_memory { stage; worker_bytes; budget } ->
-    Printf.sprintf "%s: %dMB > %dMB" stage (worker_bytes / 1048576)
-      (budget / 1048576)
+    Printf.sprintf "%s: %s > %s" stage (pp_bytes worker_bytes) (pp_bytes budget)
   | Task_failed { stage; partition; attempts } ->
     Printf.sprintf "%s: task on partition %d abandoned after %d attempts"
       stage partition attempts
   | Error msg -> msg
 
 let pp_failure ppf f = Fmt.string ppf (failure_message f)
+
+(* How a run that did not answer entirely in memory got its answer: what
+   spilled, and (after a route fallback) which route finally answered. *)
+type degradation = {
+  spilled_bytes : int;
+  spill_partitions : int;
+  spill_rounds : int;
+  fell_back : bool; (* true when the shredded route answered for Standard *)
+  answered_by : string; (* strategy name of the route that answered *)
+  first_failure : failure option; (* the abandoned route's failure *)
+}
 
 type step_report = {
   step : string; (* source assignment name; "Unshred" for reassembly *)
@@ -94,13 +112,17 @@ type run = {
          report covers result reassembly *)
   trace : Exec.Trace.span list;
       (* root spans, one per executed assignment; [] unless tracing *)
+  degradation : degradation option;
+      (* present whenever the run spilled or fell back to another route;
+         [stats]/[steps]/[trace] always describe the answering route *)
 }
 
 let step_seconds r = List.map (fun s -> (s.step, s.sim_seconds)) r.steps
 
 (** How the run ended, Spark-style: [Degraded] means faults were recovered
-    (retries, speculation, recomputation) but the answer is still the
-    reference answer; [Failed] means a typed failure surfaced. *)
+    (retries, speculation, recomputation), operators spilled to disk, or
+    the driver fell back to the shredded route — but the answer is still
+    the reference answer; [Failed] means a typed failure surfaced. *)
 type outcome = Completed | Degraded | Failed
 
 let outcome_name = function
@@ -116,6 +138,8 @@ let outcome (r : run) : outcome =
       Exec.Stats.task_retries r.stats > 0
       || Exec.Stats.speculative_tasks r.stats > 0
       || Exec.Stats.recomputed_bytes r.stats > 0
+      || Exec.Stats.spilled_bytes r.stats > 0
+      || r.degradation <> None
     then Degraded
     else Completed
 
@@ -206,20 +230,30 @@ let pp_run ppf r =
     Fmt.pf ppf "%-14s FAIL (%s) after %.3fs [%a]" r.strategy
       (failure_message f) r.wall_seconds Exec.Stats.pp r.stats
   | None ->
-    Fmt.pf ppf "%-14s ok in %.3fs [%a]" r.strategy r.wall_seconds Exec.Stats.pp
-      r.stats
+    let how =
+      match r.degradation with
+      | Some d when d.fell_back ->
+        Printf.sprintf " (fell back to %s)" d.answered_by
+      | Some _ -> " (spilled)"
+      | None -> ""
+    in
+    Fmt.pf ppf "%-14s ok%s in %.3fs [%a]" r.strategy how r.wall_seconds
+      Exec.Stats.pp r.stats
 
 (* ------------------------------------------------------------------ *)
 (* JSON reporting (hand-rolled; the image has no JSON library) *)
 
+(* Schema-stable: every counter appears in every run, zero-valued or not,
+   so downstream diffing of run_json never sees keys come and go. *)
 let snapshot_json (s : Exec.Stats.snapshot) =
   Printf.sprintf
-    "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"peak_worker_bytes\":%d,\"rows_processed\":%d,\"stages\":%d,\"sim_seconds\":%.6g,\"task_retries\":%d,\"retried_tasks\":%d,\"speculative_tasks\":%d,\"recomputed_bytes\":%d}"
+    "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"peak_worker_bytes\":%d,\"rows_processed\":%d,\"stages\":%d,\"sim_seconds\":%.6g,\"task_retries\":%d,\"retried_tasks\":%d,\"speculative_tasks\":%d,\"recomputed_bytes\":%d,\"spilled_bytes\":%d,\"spill_partitions\":%d,\"spill_rounds\":%d}"
     s.Exec.Stats.shuffled_bytes s.Exec.Stats.broadcast_bytes
     s.Exec.Stats.peak_worker_bytes s.Exec.Stats.rows_processed
     s.Exec.Stats.stages s.Exec.Stats.sim_seconds s.Exec.Stats.task_retries
     s.Exec.Stats.retried_tasks s.Exec.Stats.speculative_tasks
-    s.Exec.Stats.recomputed_bytes
+    s.Exec.Stats.recomputed_bytes s.Exec.Stats.spilled_bytes
+    s.Exec.Stats.spill_partitions s.Exec.Stats.spill_rounds
 
 let json_string b s =
   Buffer.add_char b '"';
@@ -246,6 +280,20 @@ let run_json (r : run) : string =
   (match r.failure with
   | None -> Buffer.add_string b "null"
   | Some f -> json_string b (failure_message f));
+  Buffer.add_string b ",\"degradation\":";
+  (match r.degradation with
+  | None -> Buffer.add_string b "null"
+  | Some d ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"spilled_bytes\":%d,\"spill_partitions\":%d,\"spill_rounds\":%d,\"fell_back\":%b,\"answered_by\":"
+         d.spilled_bytes d.spill_partitions d.spill_rounds d.fell_back);
+    json_string b d.answered_by;
+    Buffer.add_string b ",\"first_failure\":";
+    (match d.first_failure with
+    | None -> Buffer.add_string b "null"
+    | Some f -> json_string b (failure_message f));
+    Buffer.add_char b '}');
   Buffer.add_string b ",\"totals\":";
   Buffer.add_string b (snapshot_json (Exec.Stats.snapshot r.stats));
   Buffer.add_string b ",\"steps\":[";
@@ -400,10 +448,9 @@ let catch_oom f =
   | exception Exec.Faults.Task_abandoned { stage; partition; attempts } ->
     (None, Some (Task_failed { stage; partition; attempts }))
 
-(** Run a program with the given strategy; never raises on memory
-    exhaustion. *)
-let run ?(config = default_config) ~(strategy : strategy)
-    (p : Nrc.Program.t) (input_values : (string * V.t) list) : run =
+(* One route, one run; never raises on memory exhaustion. *)
+let run_once ~(config : config) ~(strategy : strategy) (p : Nrc.Program.t)
+    (input_values : (string * V.t) list) : run =
   (* AddIndex ids and label sites feed partition assignment: reset both so
      identical runs (and fault-injection replays) are bit-for-bit
      deterministic *)
@@ -441,6 +488,20 @@ let run ?(config = default_config) ~(strategy : strategy)
     List.map (fun { Nrc.Program.target; _ } -> target) p.Nrc.Program.assignments
   in
   let finish ~strategy ~value ~wall ~failure ~steps_out =
+    let s = Exec.Stats.snapshot stats in
+    let degradation =
+      if s.Exec.Stats.spilled_bytes > 0 && failure = None then
+        Some
+          {
+            spilled_bytes = s.Exec.Stats.spilled_bytes;
+            spill_partitions = s.Exec.Stats.spill_partitions;
+            spill_rounds = s.Exec.Stats.spill_rounds;
+            fell_back = false;
+            answered_by = strategy_name strategy;
+            first_failure = None;
+          }
+      else None
+    in
     {
       strategy = strategy_name strategy;
       value;
@@ -449,6 +510,7 @@ let run ?(config = default_config) ~(strategy : strategy)
       failure;
       steps = reports_of !steps_out;
       trace = (match trace with None -> [] | Some c -> Exec.Trace.roots c);
+      degradation;
     }
   in
   match strategy with
@@ -498,3 +560,38 @@ let run ?(config = default_config) ~(strategy : strategy)
     let result, failure = outcome in
     let value = Option.join result in
     finish ~strategy:(Shredded { unshred }) ~value ~wall ~failure ~steps_out
+
+(** Run a program with the given strategy; never raises on memory
+    exhaustion. When the standard route dies of memory exhaustion — the
+    spilling layer itself denied a reservation, or spilling is off — and
+    [config.route_fallback] is on, the driver re-plans the same program
+    down the shredded route (query shredding usually fits where flattening
+    cannot) and answers from there, surfacing the whole story as a
+    [degradation] record. The returned [stats]/[steps]/[trace] describe
+    the answering route; [wall_seconds] covers both attempts. *)
+let run ?(config = default_config) ~(strategy : strategy)
+    (p : Nrc.Program.t) (input_values : (string * V.t) list) : run =
+  let r = run_once ~config ~strategy p input_values in
+  match r.failure, strategy with
+  | Some (Out_of_memory _ as first), Standard when config.route_fallback -> (
+    let fallback = Shredded { unshred = true } in
+    let r2 = run_once ~config ~strategy:fallback p input_values in
+    match r2.failure with
+    | Some _ -> r (* both routes failed: report the original failure *)
+    | None ->
+      let s = Exec.Stats.snapshot r2.stats in
+      {
+        r2 with
+        wall_seconds = r.wall_seconds +. r2.wall_seconds;
+        degradation =
+          Some
+            {
+              spilled_bytes = s.Exec.Stats.spilled_bytes;
+              spill_partitions = s.Exec.Stats.spill_partitions;
+              spill_rounds = s.Exec.Stats.spill_rounds;
+              fell_back = true;
+              answered_by = strategy_name fallback;
+              first_failure = Some first;
+            };
+      })
+  | _ -> r

@@ -38,10 +38,15 @@ type config = {
   faults : Exec.Faults.spec option;
       (** inject one deterministic fault per run (seeded from
           [cluster.seed]); recovery cost shows in the stats and trace *)
+  route_fallback : bool;
+      (** when a Standard run fails with {!Out_of_memory} — spilling off,
+          or the spilling layer exhausted {!Exec.Config.t.max_spill_rounds}
+          — re-plan the program down the shredded route and answer from
+          there, reported as a {!degradation} *)
 }
 
 val default_config : config
-(** Tracing off, no faults. *)
+(** Tracing off, no faults, route fallback on. *)
 
 (** {2 Reporting} *)
 
@@ -56,9 +61,21 @@ type failure =
   | Error of string
 
 val failure_message : failure -> string
-(** Legacy one-line description, e.g. ["Step2/unnest: 5MB > 4MB"]. *)
+(** Legacy one-line description, e.g. ["Step2/unnest: 5.0MB > 4.0MB"]. *)
 
 val pp_failure : Format.formatter -> failure -> unit
+
+(** How a run that did not answer entirely in memory got its answer. *)
+type degradation = {
+  spilled_bytes : int;  (** bytes the answering route wrote to disk *)
+  spill_partitions : int;
+  spill_rounds : int;
+  fell_back : bool;
+      (** the standard route was abandoned and the shredded route answered *)
+  answered_by : string;  (** strategy name of the answering route *)
+  first_failure : failure option;
+      (** the abandoned route's failure when [fell_back] *)
+}
 
 type step_report = {
   step : string;
@@ -84,14 +101,18 @@ type run = {
   trace : Exec.Trace.span list;
       (** root spans, one per executed assignment; [[]] unless
           [config.trace] *)
+  degradation : degradation option;
+      (** present when the run spilled or fell back; [stats]/[steps]/
+          [trace] always describe the answering route *)
 }
 
 val step_seconds : run -> (string * float) list
 (** Simulated seconds per step — the shape of the old [step_seconds]
     field. *)
 
-(** How the run ended. [Degraded]: one or more faults were recovered
-    (retries, speculation, recomputation) and the answer is still correct.
+(** How the run ended. [Degraded]: faults were recovered (retries,
+    speculation, recomputation), operators spilled to disk, or the driver
+    fell back to the shredded route — and the answer is still correct.
     [Failed]: a typed failure surfaced. *)
 type outcome = Completed | Degraded | Failed
 
@@ -102,7 +123,10 @@ val pp_run : Format.formatter -> run -> unit
 
 val run_json : run -> string
 (** The whole run as a JSON object — strategy, wall seconds, failure,
-    totals, per-step reports (with span trees), root spans. *)
+    degradation, totals, per-step reports (with span trees), root spans.
+    Schema-stable: every counter key (including the spill counters) and the
+    ["degradation"] key appear in every run, so downstream diffs never see
+    keys come and go. *)
 
 (** {2 Compilation} *)
 
@@ -144,4 +168,8 @@ val run :
   Nrc.Program.t ->
   (string * Nrc.Value.t) list ->
   run
-(** Compile and execute; never raises on memory exhaustion. *)
+(** Compile and execute; never raises on memory exhaustion. A Standard run
+    that dies of memory exhaustion re-plans down the shredded route when
+    [config.route_fallback] is on (see {!degradation}); [wall_seconds] then
+    covers both attempts and the reported stats are the answering
+    route's. *)

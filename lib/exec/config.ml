@@ -7,6 +7,8 @@
     lever that turns the paper's memory-saturation failures into
     {!Stats.Worker_out_of_memory}. *)
 
+type spill = Off | On
+
 type t = {
   workers : int; (* worker nodes; partitions are assigned round-robin *)
   partitions : int; (* shuffle partitions *)
@@ -19,22 +21,54 @@ type t = {
   seed : int;
   max_task_attempts : int; (* attempt budget per task, Spark's spark.task.maxFailures *)
   speculation : bool; (* launch speculative duplicates for stragglers *)
+  spill : spill; (* Off reproduces the paper's FAIL bars; On spills to disk *)
+  max_spill_rounds : int; (* build passes before a stage gives up (then OOM) *)
+  disk_weight : float; (* simulated seconds per byte written to or read from disk *)
 }
 
+let spill_of_string = function
+  | "on" | "true" | "1" -> Ok On
+  | "off" | "false" | "0" -> Ok Off
+  | s -> Error (Printf.sprintf "unknown spill mode %S (expected on|off)" s)
+
+let spill_name = function Off -> "off" | On -> "on"
+
+(* CI's memory-pressure matrix sweeps the *default* budget and spill mode
+   through the environment so the tier-1 suite runs unchanged under each
+   cell; tests that pin [worker_mem] or [spill] explicitly are unaffected.
+   TRANCE_WORKER_MEM is MB or "unbounded"; TRANCE_SPILL is on|off. *)
 let default =
-  {
-    workers = 5;
-    partitions = 40;
-    worker_mem = 64 * 1024 * 1024;
-    broadcast_limit = 256 * 1024;
-    sample_per_partition = 40;
-    heavy_threshold = 0.025;
-    cpu_weight = 1e-8;
-    net_weight = 4e-8;
-    seed = 42;
-    max_task_attempts = 4;
-    speculation = true;
-  }
+  let base =
+    {
+      workers = 5;
+      partitions = 40;
+      worker_mem = 64 * 1024 * 1024;
+      broadcast_limit = 256 * 1024;
+      sample_per_partition = 40;
+      heavy_threshold = 0.025;
+      cpu_weight = 1e-8;
+      net_weight = 4e-8;
+      seed = 42;
+      max_task_attempts = 4;
+      speculation = true;
+      spill = Off;
+      max_spill_rounds = 256;
+      disk_weight = 2e-8;
+    }
+  in
+  let base =
+    match Sys.getenv_opt "TRANCE_WORKER_MEM" with
+    | Some "unbounded" -> { base with worker_mem = max_int }
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some mb when mb > 0. ->
+            { base with worker_mem = int_of_float (mb *. 1024. *. 1024.) }
+        | _ -> base)
+    | None -> base
+  in
+  match Option.map spill_of_string (Sys.getenv_opt "TRANCE_SPILL") with
+  | Some (Ok sp) -> { base with spill = sp }
+  | _ -> base
 
 (** A configuration that never fails on memory: used by tests that check
     semantics only. *)

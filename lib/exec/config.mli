@@ -6,6 +6,10 @@
     the ratios at laptop scale; [worker_mem] is the lever that turns memory
     saturation into {!Stats.Worker_out_of_memory} — the paper's FAIL bars. *)
 
+type spill =
+  | Off  (** deny over-budget reservations: the paper's FAIL bars *)
+  | On  (** stage the build side through simulated disk and finish slowly *)
+
 type t = {
   workers : int;  (** worker nodes; partitions assigned round-robin *)
   partitions : int;  (** shuffle partitions *)
@@ -22,9 +26,23 @@ type t = {
   speculation : bool;
       (** launch a speculative duplicate for an injected straggler; the
           first copy to finish wins (Spark's [spark.speculation]) *)
+  spill : spill;
+      (** what the {!Memory} manager does when a stage's residency exceeds
+          [worker_mem] (after any {!Faults.Mem_squeeze}) *)
+  max_spill_rounds : int;
+      (** most build passes a spilling stage may take before the manager
+          denies the reservation and the stage fails typed OOM *)
+  disk_weight : float;
+      (** simulated seconds per byte written to or read back from disk *)
 }
 
+val spill_of_string : string -> (spill, string) result
+val spill_name : spill -> string
+
 val default : t
+(** Honours the CI matrix hooks [TRANCE_WORKER_MEM] (MB, or ["unbounded"])
+    and [TRANCE_SPILL] (on|off) so the whole suite can run under a swept
+    budget without code changes. *)
 
 val unbounded : t
 (** [default] with no memory budget: for semantics-only tests. *)

@@ -16,8 +16,10 @@
       heavy keys; the light part follows the standard implementation while
       the heavy part keeps its location and receives broadcast partners;
     - every operator is accounted: bytes shuffled and broadcast, per-worker
-      resident bytes checked against the memory budget (raising
-      {!Stats.Worker_out_of_memory}, the paper's FAIL entries), and a
+      resident bytes reserved through the {!Memory} manager — which either
+      fits the stage, spills its declared build side to simulated disk
+      ({!Config.t.spill} [= On]), or denies the reservation (raising
+      {!Stats.Worker_out_of_memory}, the paper's FAIL entries) — and a
       simulated time accumulating per-stage maxima over partitions, which is
       where load imbalance shows.
 
@@ -73,6 +75,7 @@ type state = {
   stats : Stats.t;
   trace : Trace.ctx option;
   faults : Faults.t option;
+  mem : Memory.t;
   env : env;
 }
 
@@ -105,41 +108,82 @@ let charge_recovery st ?(retries = 0) ?(retried = 0) ?(speculative = 0)
   Trace.add st.trace ~retries ~retried ~speculative ~recomputed
     ~sim_seconds:dt ()
 
-(* Charge one stage: per-worker residency check + simulated cpu time.
-   [extra_per_worker] models broadcast copies resident on every worker.
+(* What a stage's operator can stage out to disk when the manager denies
+   full residency — its "build side". Everything else must stay resident.
+   [Spill_all] models streaming operators (and shuffle receipts) whose
+   whole working set can page through disk chunk-wise; [Spill_pinned] is a
+   broadcast replica (external broadcast join); [Spill_parts] is a hash
+   table built over the given per-partition inputs (external hash join,
+   external cogroup, external group-by/dedup). *)
+type spill_side =
+  | Spill_all
+  | Spill_pinned
+  | Spill_parts of int array list
+
+let worker_totals cfg ?(base = 0) (arrs : int array list) : int array =
+  let worker = Array.make cfg.Config.workers base in
+  List.iter
+    (Array.iteri (fun p b ->
+         let w = Config.worker_of_partition cfg p in
+         worker.(w) <- worker.(w) + b))
+    arrs;
+  worker
+
+(* Reserve one stage's residency through the memory manager and charge
+   whatever it decides: a fitting stage just records its peak, a spilling
+   stage additionally pays the spill counters and disk time (to Stats and
+   the innermost span, identically), and a denied one fails typed. *)
+let check_residency st ~stage ~(worker : int array) ~(spillable : int array) :
+    unit =
+  match Memory.reserve st.mem ~worker ~spillable with
+  | Memory.Fit { peak } ->
+    Stats.observe_worker st.stats peak;
+    Trace.observe_worker st.trace peak
+  | Memory.Spill { spilled_bytes; spill_partitions; rounds; peak; io_seconds }
+    ->
+    Stats.observe_worker st.stats peak;
+    Trace.observe_worker st.trace peak;
+    Stats.add_spilled st.stats spilled_bytes;
+    Stats.add_spill_partitions st.stats spill_partitions;
+    Stats.add_spill_rounds st.stats rounds;
+    Stats.add_sim_seconds st.stats io_seconds;
+    Trace.add st.trace ~spilled:spilled_bytes ~spill_partitions
+      ~spill_rounds:rounds ~sim_seconds:io_seconds ()
+  | Memory.Denied { worker_bytes; budget } ->
+    Stats.observe_worker st.stats worker_bytes;
+    Trace.observe_worker st.trace worker_bytes;
+    raise (Stats.Worker_out_of_memory { stage; worker_bytes; budget })
+
+(* Charge one stage: per-worker residency reservation + simulated cpu time.
+   Broadcast copies resident on every worker are accounted through the
+   manager's pin ledger ({!Memory.pin}) by the broadcasting operator.
    This is also a compute-site stage for the fault injector: an injected
    event is recovered here with Spark's semantics — bounded per-task retry,
    lineage re-execution of a lost worker's partitions, speculative
    duplicates for stragglers — and its cost (extra attempts, recomputed
    bytes, extra simulated time) is charged on top of the clean stage. *)
-let account st ~stage ?(extra_per_worker = 0) (input_bytes : int array list)
+let account st ~stage ?(spill = Spill_all) (input_bytes : int array list)
     (output : Row.t array array) : unit =
   let cfg = st.cfg in
   let out_bytes = part_bytes output in
   let nparts = Array.length out_bytes in
-  let worker = Array.make cfg.Config.workers extra_per_worker in
-  let add arr =
-    Array.iteri
-      (fun p b ->
-        let w = Config.worker_of_partition cfg p in
-        worker.(w) <- worker.(w) + b)
-      arr
+  let worker =
+    worker_totals cfg ~base:(Memory.pinned st.mem) (out_bytes :: input_bytes)
   in
-  List.iter add input_bytes;
-  add out_bytes;
-  let max_worker = Array.fold_left max 0 worker in
-  Stats.observe_worker st.stats max_worker;
-  Trace.observe_worker st.trace max_worker;
   Trace.observe_partitions st.trace out_bytes;
+  (* advance the injector before reserving, so a Mem_squeeze that starts at
+     this stage already constrains it *)
   let event =
     Faults.on_stage st.faults ~site:Faults.Compute ~partitions:nparts
       ~workers:cfg.Config.workers
   in
-  let budget = Faults.effective_mem st.faults cfg.Config.worker_mem in
-  if max_worker > budget then
-    raise
-      (Stats.Worker_out_of_memory
-         { stage; worker_bytes = max_worker; budget });
+  let spillable =
+    match spill with
+    | Spill_all -> Array.copy worker
+    | Spill_pinned -> Array.make cfg.Config.workers (Memory.pinned st.mem)
+    | Spill_parts arrs -> worker_totals cfg arrs
+  in
+  check_residency st ~stage ~worker ~spillable;
   (* per-partition task cost: a task reads its input slices and writes its
      output slice; the slowest task bounds the stage *)
   let task_cost p =
@@ -250,21 +294,13 @@ let shuffle st ?(stage = "shuffle") (r : rset) (keys : S.t list) : rset =
           ~dt:(float_of_int (fails * b) *. cfg.Config.net_weight)
           ()
       | _ -> ());
-      (* receiving workers must hold their partitions *)
-      let worker = Array.make cfg.Config.workers 0 in
-      Array.iteri
-        (fun p b ->
-          let w = Config.worker_of_partition cfg p in
-          worker.(w) <- worker.(w) + b)
-        received;
-      let max_worker = Array.fold_left max 0 worker in
-      Stats.observe_worker st.stats max_worker;
-      Trace.observe_worker st.trace max_worker;
-      let budget = Faults.effective_mem st.faults cfg.Config.worker_mem in
-      if max_worker > budget then
-        raise
-          (Stats.Worker_out_of_memory
-             { stage; worker_bytes = max_worker; budget });
+      (* receiving workers must hold their partitions — or spill the
+         receipts to disk, Spark's shuffle spill *)
+      let worker =
+        worker_totals cfg ~base:(Memory.pinned st.mem) [ received ]
+      in
+      check_residency st ~stage ~worker
+        ~spillable:(worker_totals cfg [ received ]);
       {
         parts = Array.map (fun l -> Array.of_list (List.rev l)) dest;
         key = Some keys;
@@ -407,9 +443,14 @@ let broadcast_join st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols :
   in
   let index = index_rows rkey all_right in
   let out = Array.map (join_partition ~lkey ~kind ~rcols index) l.parts in
-  account st ~stage ~extra_per_worker:rbytes
-    [ part_bytes l.parts ]
-    out;
+  (* the replica is pinned on every worker for the duration of the stage;
+     it is also the join's build side, so it can spill (external broadcast
+     join) *)
+  Memory.pin st.mem rbytes;
+  Fun.protect
+    ~finally:(fun () -> Memory.unpin st.mem rbytes)
+    (fun () ->
+      account st ~stage ~spill:Spill_pinned [ part_bytes l.parts ] out);
   { parts = out; key = l.key; skew = None }
 
 let shuffle_join st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols :
@@ -427,7 +468,12 @@ let shuffle_join st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols :
         join_partition ~lkey ~kind ~rcols index lpart)
       l'.parts
   in
-  account st ~stage [ part_bytes l'.parts; part_bytes r'.parts ] out;
+  (* external hash join: the per-partition build table over the right side
+     is what can stage through disk *)
+  account st ~stage
+    ~spill:(Spill_parts [ part_bytes r'.parts ])
+    [ part_bytes l'.parts; part_bytes r'.parts ]
+    out;
   { parts = out; key = Some lkey; skew = None }
 
 (* Figure 6: skew-aware join. The heavy-key set is taken from the incoming
@@ -525,7 +571,10 @@ let cogroup st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols ~keys
         Array.of_list (List.rev !rows))
       l'.parts
   in
-  account st ~stage [ part_bytes l'.parts; part_bytes r'.parts ] outp;
+  account st ~stage
+    ~spill:(Spill_parts [ part_bytes r'.parts ])
+    [ part_bytes l'.parts; part_bytes r'.parts ]
+    outp;
   { parts = outp; key = None; skew = None }
 
 (* ------------------------------------------------------------------ *)
@@ -631,9 +680,13 @@ and exec (st : state) (op : Op.t) : rset =
                (Array.to_list lpart)))
         l.parts
     in
-    account st ~stage:"product" ~extra_per_worker:rbytes
-      [ part_bytes l.parts ]
-      out;
+    Memory.pin st.mem rbytes;
+    Fun.protect
+      ~finally:(fun () -> Memory.unpin st.mem rbytes)
+      (fun () ->
+        account st ~stage:"product" ~spill:Spill_pinned
+          [ part_bytes l.parts ]
+          out);
     { parts = out; key = l.key; skew = None }
   | Op.Unnest { input; path; binder; outer; drop } ->
     let r = run st input in
@@ -724,9 +777,13 @@ and exec (st : state) (op : Op.t) : rset =
             Array.of_list (List.rev !rows))
           l.parts
       in
-      account st ~stage:"cogroup(broadcast)" ~extra_per_worker:rbytes
-        [ part_bytes l.parts ]
-        outp;
+      Memory.pin st.mem rbytes;
+      Fun.protect
+        ~finally:(fun () -> Memory.unpin st.mem rbytes)
+        (fun () ->
+          account st ~stage:"cogroup(broadcast)" ~spill:Spill_pinned
+            [ part_bytes l.parts ]
+            outp);
       { parts = outp; key = None; skew = None }
     end
     else
@@ -749,7 +806,11 @@ and exec (st : state) (op : Op.t) : rset =
                (Array.to_list part)))
         r'.parts
     in
-    account st ~stage:"nest_bag" [ part_bytes r'.parts ] outp;
+    (* external group-by: the grouping hash table is built over the
+       shuffled input *)
+    account st ~stage:"nest_bag"
+      ~spill:(Spill_parts [ part_bytes r'.parts ])
+      [ part_bytes r'.parts ] outp;
     {
       parts = outp;
       key =
@@ -772,7 +833,9 @@ and exec (st : state) (op : Op.t) : rset =
                (Array.to_list part)))
         r.parts
     in
-    account st ~stage:"nest_sum(combine)" [ part_bytes r.parts ] partials;
+    account st ~stage:"nest_sum(combine)"
+      ~spill:(Spill_parts [ part_bytes r.parts ])
+      [ part_bytes r.parts ] partials;
     let r = { parts = partials; key = None; skew = None } in
     (* reduce side: sum the partial sums *)
     let keys' = List.map (fun (n, _) -> (n, S.Col [ n ])) keys in
@@ -797,7 +860,9 @@ and exec (st : state) (op : Op.t) : rset =
                ~presence:presence' (Array.to_list part)))
         r'.parts
     in
-    account st ~stage:"nest_sum" [ part_bytes r'.parts ] outp;
+    account st ~stage:"nest_sum"
+      ~spill:(Spill_parts [ part_bytes r'.parts ])
+      [ part_bytes r'.parts ] outp;
     {
       parts = outp;
       key =
@@ -886,7 +951,10 @@ let rset_to_dataset (cols : string list) (r : rset) : Dataset.t =
 (** Execute one plan against named datasets; returns the result dataset. *)
 let run_plan ?(options = default_options) ?trace ?faults ~config ~stats
     (env : env) (plan : Op.t) : Dataset.t =
-  let st = { cfg = config; opts = options; stats; trace; faults; env } in
+  let st =
+    { cfg = config; opts = options; stats; trace; faults;
+      mem = Memory.create ?faults config; env }
+  in
   let r = run st plan in
   rset_to_dataset (Op.columns plan) r
 

@@ -12,9 +12,11 @@
       the heavy part keeps its location and receives broadcast partners;
       [BagToDict] repartitions only light labels;
     - every operator is accounted: shuffled/broadcast bytes, per-worker
-      residency checked against the budget (raising
-      {!Stats.Worker_out_of_memory}), and simulated time from per-stage
-      maxima over partitions;
+      residency reserved through the {!Memory} manager — fitting, spilling
+      the operator's build side to simulated disk ({!Config.t.spill}
+      [= On], charged as [spilled_bytes]/[spill_partitions]/[spill_rounds]
+      plus disk time), or denied (raising {!Stats.Worker_out_of_memory}) —
+      and simulated time from per-stage maxima over partitions;
     - passing a {!Trace.ctx} additionally records a per-operator span tree
       (one span per dispatched operator, shuffles as child spans) mirroring
       every accounted quantity — the observability layer of {!Trace}. *)
@@ -68,7 +70,8 @@ val run_plan :
     per-task retry, lineage re-execution, speculation); recovery cost shows
     up in {!Stats} and the trace.
     @raise Stats.Worker_out_of_memory when a worker exceeds its (possibly
-    squeezed) budget.
+    squeezed) budget and cannot spill — spilling off, or the stage would
+    need more than {!Config.t.max_spill_rounds} build passes.
     @raise Faults.Task_abandoned when an injected task failure exhausts
     {!Config.t.max_task_attempts}. *)
 

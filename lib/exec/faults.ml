@@ -161,5 +161,9 @@ let on_stage (ot : t option) ~site ~partitions ~workers : event option =
 let effective_mem (ot : t option) budget =
   match ot with
   | Some { sp = { kind = Mem_squeeze; factor; _ }; squeezing = true; _ } ->
-    max 1 (int_of_float (float_of_int budget *. factor))
+    (* [float_of_int max_int] rounds up to 2^62, which is outside the int
+       range: for budgets near Config.unbounded the float round-trip would
+       produce an unspecified (negative) budget, so clamp instead. *)
+    let f = float_of_int budget *. factor in
+    if f >= float_of_int max_int then budget else max 1 (int_of_float f)
   | _ -> budget

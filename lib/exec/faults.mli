@@ -33,8 +33,9 @@ type kind =
           to finish wins *)
   | Mem_squeeze
       (** from the stage onward every worker's memory budget is multiplied
-          by [factor] — the graceful-degradation path into the paper's FAIL
-          outcomes *)
+          by [factor]; with {!Config.t.spill} [= On] the squeezed stages
+          spill to disk and finish slowly, with [Off] they fail typed — the
+          paper's FAIL outcomes *)
 
 type spec = {
   kind : kind;
@@ -97,4 +98,6 @@ val on_stage :
 
 val effective_mem : t option -> int -> int
 (** The worker memory budget after an active {!Mem_squeeze} (identity
-    before the squeeze stage and for every other fault kind). *)
+    before the squeeze stage and for every other fault kind). Safe for
+    budgets near [max_int] ({!Config.unbounded}): the result is always in
+    [\[1; budget\]], never a float-overflow artefact. *)

@@ -1,0 +1,99 @@
+(** Per-worker memory manager; see memory.mli for the reservation
+    protocol. The manager is pure decision logic plus a pin ledger: the
+    executor owns the charging of whatever the decision says to Stats and
+    Trace, which keeps the two views trivially consistent. *)
+
+type t = {
+  cfg : Config.t;
+  faults : Faults.t option;
+  mutable pinned : int; (* broadcast bytes resident on every worker *)
+}
+
+type decision =
+  | Fit of { peak : int }
+  | Spill of {
+      spilled_bytes : int;
+      spill_partitions : int;
+      rounds : int;
+      peak : int;
+      io_seconds : float;
+    }
+  | Denied of { worker_bytes : int; budget : int }
+
+let create ?faults cfg = { cfg; faults; pinned = 0 }
+let pin t bytes = t.pinned <- t.pinned + bytes
+let unpin t bytes = t.pinned <- max 0 (t.pinned - bytes)
+let pinned t = t.pinned
+
+(* Read the budget per reservation, not at creation: an active Mem_squeeze
+   shrinks it mid-run, which is exactly what turns later stages into
+   spilling stages. *)
+let budget t = Faults.effective_mem t.faults t.cfg.Config.worker_mem
+
+let cdiv a b = (a + b - 1) / b
+
+(* One over-budget worker. First try an external build: stage only the
+   declared build side through disk in [k] grace-hash partitions sized to
+   the headroom left by the resident (unspillable) set. When that can't
+   fit within [max_spill_rounds] passes — the resident set exceeds the
+   budget, or leaves so little headroom that the round count explodes —
+   degrade to full external mode and stream everything. Returns [None]
+   only when even full external mode needs too many passes. *)
+let spill_worker cfg ~budget ~total ~spillable =
+  let attempt spill_set resident =
+    let headroom = budget - resident in
+    if headroom <= 0 then None
+    else
+      let k = cdiv spill_set headroom in
+      if k > cfg.Config.max_spill_rounds then None
+      else
+        (* post-spill residency: resident set plus one build partition *)
+        Some (spill_set, k, resident + cdiv spill_set k)
+  in
+  let resident0 = total - spillable in
+  let partial =
+    if spillable > 0 && resident0 < budget then attempt spillable resident0
+    else None
+  in
+  match partial with Some _ -> partial | None -> attempt total 0
+
+let reserve t ~(worker : int array) ~(spillable : int array) =
+  let budget = budget t in
+  let peak_req = Array.fold_left max 0 worker in
+  if peak_req <= budget then Fit { peak = peak_req }
+  else
+    match t.cfg.Config.spill with
+    | Config.Off -> Denied { worker_bytes = peak_req; budget }
+    | Config.On ->
+      let bytes = ref 0 and parts = ref 0 and rounds = ref 0 in
+      let peak = ref 0 and io = ref 0. in
+      let denied = ref None in
+      Array.iteri
+        (fun w total ->
+          let sp = if w < Array.length spillable then spillable.(w) else 0 in
+          if total <= budget then peak := max !peak total
+          else
+            match spill_worker t.cfg ~budget ~total ~spillable:sp with
+            | None -> denied := Some total
+            | Some (spill_set, k, post_peak) ->
+              bytes := !bytes + spill_set;
+              parts := !parts + k;
+              rounds := max !rounds k;
+              peak := max !peak post_peak;
+              (* write once, read back once; workers spill in parallel so
+                 the stage pays the slowest worker's disk time *)
+              io :=
+                Float.max !io
+                  (2. *. float_of_int spill_set *. t.cfg.Config.disk_weight))
+        worker;
+      (match !denied with
+      | Some worker_bytes -> Denied { worker_bytes; budget }
+      | None ->
+        Spill
+          {
+            spilled_bytes = !bytes;
+            spill_partitions = !parts;
+            rounds = !rounds;
+            peak = !peak;
+            io_seconds = !io;
+          })

@@ -13,6 +13,9 @@ type t = {
   mutable retried_tasks : int;
   mutable speculative_tasks : int;
   mutable recomputed_bytes : int;
+  mutable spilled_bytes : int;
+  mutable spill_partitions : int;
+  mutable spill_rounds : int;
 }
 
 type snapshot = {
@@ -26,6 +29,9 @@ type snapshot = {
   retried_tasks : int;
   speculative_tasks : int;
   recomputed_bytes : int;
+  spilled_bytes : int;
+  spill_partitions : int;
+  spill_rounds : int;
 }
 
 exception
@@ -47,6 +53,9 @@ let create () : t =
     retried_tasks = 0;
     speculative_tasks = 0;
     recomputed_bytes = 0;
+    spilled_bytes = 0;
+    spill_partitions = 0;
+    spill_rounds = 0;
   }
 
 let shuffled_bytes (s : t) = s.shuffled_bytes
@@ -59,6 +68,9 @@ let task_retries (s : t) = s.task_retries
 let retried_tasks (s : t) = s.retried_tasks
 let speculative_tasks (s : t) = s.speculative_tasks
 let recomputed_bytes (s : t) = s.recomputed_bytes
+let spilled_bytes (s : t) = s.spilled_bytes
+let spill_partitions (s : t) = s.spill_partitions
+let spill_rounds (s : t) = s.spill_rounds
 let add_shuffled (s : t) n = s.shuffled_bytes <- s.shuffled_bytes + n
 let add_broadcast (s : t) n = s.broadcast_bytes <- s.broadcast_bytes + n
 let add_rows (s : t) n = s.rows_processed <- s.rows_processed + n
@@ -71,6 +83,12 @@ let add_speculative (s : t) n =
   s.speculative_tasks <- s.speculative_tasks + n
 
 let add_recomputed (s : t) n = s.recomputed_bytes <- s.recomputed_bytes + n
+let add_spilled (s : t) n = s.spilled_bytes <- s.spilled_bytes + n
+
+let add_spill_partitions (s : t) n =
+  s.spill_partitions <- s.spill_partitions + n
+
+let add_spill_rounds (s : t) n = s.spill_rounds <- s.spill_rounds + n
 
 let observe_worker (s : t) bytes =
   s.peak_worker_bytes <- max s.peak_worker_bytes bytes
@@ -87,6 +105,9 @@ let snapshot (s : t) : snapshot =
     retried_tasks = s.retried_tasks;
     speculative_tasks = s.speculative_tasks;
     recomputed_bytes = s.recomputed_bytes;
+    spilled_bytes = s.spilled_bytes;
+    spill_partitions = s.spill_partitions;
+    spill_rounds = s.spill_rounds;
   }
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
@@ -101,6 +122,9 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     retried_tasks = a.retried_tasks - b.retried_tasks;
     speculative_tasks = a.speculative_tasks - b.speculative_tasks;
     recomputed_bytes = a.recomputed_bytes - b.recomputed_bytes;
+    spilled_bytes = a.spilled_bytes - b.spilled_bytes;
+    spill_partitions = a.spill_partitions - b.spill_partitions;
+    spill_rounds = a.spill_rounds - b.spill_rounds;
   }
 
 let merge (a : snapshot) (b : snapshot) : snapshot =
@@ -115,6 +139,9 @@ let merge (a : snapshot) (b : snapshot) : snapshot =
     retried_tasks = a.retried_tasks + b.retried_tasks;
     speculative_tasks = a.speculative_tasks + b.speculative_tasks;
     recomputed_bytes = a.recomputed_bytes + b.recomputed_bytes;
+    spilled_bytes = a.spilled_bytes + b.spilled_bytes;
+    spill_partitions = a.spill_partitions + b.spill_partitions;
+    spill_rounds = a.spill_rounds + b.spill_rounds;
   }
 
 let zero : snapshot =
@@ -129,6 +156,9 @@ let zero : snapshot =
     retried_tasks = 0;
     speculative_tasks = 0;
     recomputed_bytes = 0;
+    spilled_bytes = 0;
+    spill_partitions = 0;
+    spill_rounds = 0;
   }
 
 let pp_snapshot ppf (s : snapshot) =
@@ -143,6 +173,10 @@ let pp_snapshot ppf (s : snapshot) =
   then
     Fmt.pf ppf " retries=%d retried=%d spec=%d recomp=%.1fKB" s.task_retries
       s.retried_tasks s.speculative_tasks
-      (float_of_int s.recomputed_bytes /. 1024.)
+      (float_of_int s.recomputed_bytes /. 1024.);
+  if s.spilled_bytes > 0 || s.spill_rounds > 0 then
+    Fmt.pf ppf " spilled=%.1fKB spill_parts=%d spill_rounds=%d"
+      (float_of_int s.spilled_bytes /. 1024.)
+      s.spill_partitions s.spill_rounds
 
 let pp ppf (s : t) = pp_snapshot ppf (snapshot s)

@@ -23,6 +23,9 @@ type snapshot = {
   retried_tasks : int;  (** distinct tasks that needed more than one attempt *)
   speculative_tasks : int;  (** speculative duplicates launched *)
   recomputed_bytes : int;  (** bytes recomputed or re-fetched during recovery *)
+  spilled_bytes : int;  (** bytes written to simulated disk by spilling stages *)
+  spill_partitions : int;  (** on-disk build partitions created while spilling *)
+  spill_rounds : int;  (** extra build passes executed by spilling stages *)
 }
 
 exception
@@ -49,6 +52,9 @@ val task_retries : t -> int
 val retried_tasks : t -> int
 val speculative_tasks : t -> int
 val recomputed_bytes : t -> int
+val spilled_bytes : t -> int
+val spill_partitions : t -> int
+val spill_rounds : t -> int
 
 (** {2 Recording (executor side)} *)
 
@@ -61,6 +67,9 @@ val add_task_retries : t -> int -> unit
 val add_retried_tasks : t -> int -> unit
 val add_speculative : t -> int -> unit
 val add_recomputed : t -> int -> unit
+val add_spilled : t -> int -> unit
+val add_spill_partitions : t -> int -> unit
+val add_spill_rounds : t -> int -> unit
 
 val observe_worker : t -> int -> unit
 (** Raise the peak per-worker residency high-water mark. *)

@@ -27,6 +27,9 @@ type metrics = {
   retried_tasks : int;
   speculative_tasks : int;
   recomputed_bytes : int;
+  spilled_bytes : int;
+  spill_partitions : int;
+  spill_rounds : int;
 }
 
 let zero_metrics =
@@ -45,6 +48,9 @@ let zero_metrics =
     retried_tasks = 0;
     speculative_tasks = 0;
     recomputed_bytes = 0;
+    spilled_bytes = 0;
+    spill_partitions = 0;
+    spill_rounds = 0;
   }
 
 let merge_metrics a b =
@@ -63,6 +69,9 @@ let merge_metrics a b =
     retried_tasks = a.retried_tasks + b.retried_tasks;
     speculative_tasks = a.speculative_tasks + b.speculative_tasks;
     recomputed_bytes = a.recomputed_bytes + b.recomputed_bytes;
+    spilled_bytes = a.spilled_bytes + b.spilled_bytes;
+    spill_partitions = a.spill_partitions + b.spill_partitions;
+    spill_rounds = a.spill_rounds + b.spill_rounds;
   }
 
 let mean_partition_bytes m =
@@ -170,7 +179,8 @@ let set_strategy octx s =
 
 let add octx ?(shuffled = 0) ?(broadcast = 0) ?(rows_in = 0) ?(rows_out = 0)
     ?(stages = 0) ?(sim_seconds = 0.) ?(retries = 0) ?(retried = 0)
-    ?(speculative = 0) ?(recomputed = 0) () =
+    ?(speculative = 0) ?(recomputed = 0) ?(spilled = 0) ?(spill_partitions = 0)
+    ?(spill_rounds = 0) () =
   on_top octx (fun n ->
       n.nm <-
         {
@@ -185,6 +195,9 @@ let add octx ?(shuffled = 0) ?(broadcast = 0) ?(rows_in = 0) ?(rows_out = 0)
           retried_tasks = n.nm.retried_tasks + retried;
           speculative_tasks = n.nm.speculative_tasks + speculative;
           recomputed_bytes = n.nm.recomputed_bytes + recomputed;
+          spilled_bytes = n.nm.spilled_bytes + spilled;
+          spill_partitions = n.nm.spill_partitions + spill_partitions;
+          spill_rounds = n.nm.spill_rounds + spill_rounds;
         })
 
 let observe_partitions octx (bytes : int array) =
@@ -222,7 +235,10 @@ let pp_metrics ppf m =
   if m.task_retries > 0 || m.speculative_tasks > 0 || m.recomputed_bytes > 0
   then
     Fmt.pf ppf " retries=%d spec=%d recomp=%a" m.task_retries
-      m.speculative_tasks pp_bytes m.recomputed_bytes
+      m.speculative_tasks pp_bytes m.recomputed_bytes;
+  if m.spilled_bytes > 0 || m.spill_rounds > 0 then
+    Fmt.pf ppf " spilled=%a spill_parts=%d spill_rounds=%d" pp_bytes
+      m.spilled_bytes m.spill_partitions m.spill_rounds
 
 let pp_tree ppf sp =
   let rec go indent sp =
@@ -260,14 +276,15 @@ let json_float f =
 let buffer_metrics b m =
   Buffer.add_string b
     (Printf.sprintf
-       "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"rows_in\":%d,\"rows_out\":%d,\"stages\":%d,\"max_partition_bytes\":%d,\"mean_partition_bytes\":%s,\"peak_worker_bytes\":%d,\"load_imbalance\":%s,\"sim_seconds\":%s,\"task_retries\":%d,\"retried_tasks\":%d,\"speculative_tasks\":%d,\"recomputed_bytes\":%d}"
+       "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"rows_in\":%d,\"rows_out\":%d,\"stages\":%d,\"max_partition_bytes\":%d,\"mean_partition_bytes\":%s,\"peak_worker_bytes\":%d,\"load_imbalance\":%s,\"sim_seconds\":%s,\"task_retries\":%d,\"retried_tasks\":%d,\"speculative_tasks\":%d,\"recomputed_bytes\":%d,\"spilled_bytes\":%d,\"spill_partitions\":%d,\"spill_rounds\":%d}"
        m.shuffled_bytes m.broadcast_bytes m.rows_in m.rows_out m.stages
        m.max_partition_bytes
        (json_float (mean_partition_bytes m))
        m.peak_worker_bytes
        (json_float (load_imbalance m))
        (json_float m.sim_seconds)
-       m.task_retries m.retried_tasks m.speculative_tasks m.recomputed_bytes)
+       m.task_retries m.retried_tasks m.speculative_tasks m.recomputed_bytes
+       m.spilled_bytes m.spill_partitions m.spill_rounds)
 
 let rec buffer_json b sp =
   Buffer.add_string b (Printf.sprintf "{\"id\":%d,\"op\":\"" sp.id);

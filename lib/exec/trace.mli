@@ -48,6 +48,9 @@ type metrics = {
   retried_tasks : int;  (** distinct tasks that needed more than one attempt *)
   speculative_tasks : int;  (** speculative duplicates launched *)
   recomputed_bytes : int;  (** bytes recomputed or re-fetched in recovery *)
+  spilled_bytes : int;  (** bytes written to simulated disk while spilling *)
+  spill_partitions : int;  (** on-disk build partitions created *)
+  spill_rounds : int;  (** extra build passes executed by spilling stages *)
 }
 
 val zero_metrics : metrics
@@ -117,6 +120,9 @@ val add :
   ?retried:int ->
   ?speculative:int ->
   ?recomputed:int ->
+  ?spilled:int ->
+  ?spill_partitions:int ->
+  ?spill_rounds:int ->
   unit ->
   unit
 (** Charge counters to the innermost open span. *)

@@ -298,11 +298,14 @@ let test_heavy_key_detection_bounds () =
 (* Memory budget: FAIL reproduction *)
 
 let test_oom_failure () =
-  (* tiny worker budget: the standard route on nested data must fail, and
-     the API must report it as a failure, not raise *)
+  (* tiny worker budget, spilling off, no fallback: the standard route on
+     nested data must fail, and the API must report it as a failure, not
+     raise *)
   let tiny =
     { api_config with
-      cluster = { cluster with worker_mem = 512 } }
+      cluster =
+        { cluster with worker_mem = 512; spill = Exec.Config.Off };
+      route_fallback = false }
   in
   let r =
     Trance.Api.run ~config:tiny ~strategy:Trance.Api.Standard

@@ -97,7 +97,13 @@ let check_recovery_totals what (r : Trance.Api.run) =
   check_int (what ^ ": span speculative") (Exec.Stats.speculative_tasks s)
     t.Trace.speculative_tasks;
   check_int (what ^ ": span recomputed") (Exec.Stats.recomputed_bytes s)
-    t.Trace.recomputed_bytes
+    t.Trace.recomputed_bytes;
+  check_int (what ^ ": span spilled_bytes") (Exec.Stats.spilled_bytes s)
+    t.Trace.spilled_bytes;
+  check_int (what ^ ": span spill_partitions")
+    (Exec.Stats.spill_partitions s) t.Trace.spill_partitions;
+  check_int (what ^ ": span spill_rounds") (Exec.Stats.spill_rounds s)
+    t.Trace.spill_rounds
 
 let check_attempt_bounds what (spec : F.spec) (r : Trance.Api.run) =
   let s = r.Trance.Api.stats in
@@ -144,6 +150,60 @@ let campaign_tests =
                     (Exec.Stats.snapshot r.Trance.Api.stats
                     = Exec.Stats.snapshot r2.Trance.Api.stats)))
             fault_specs)
+        strategies)
+    Fixtures.corpus
+
+(* ------------------------------------------------------------------ *)
+(* The memory ladder: corpus x strategy x shrinking worker budget. With
+   spilling on, no budget on the ladder may fail: the run completes in
+   memory, spills, or (Standard, smallest budgets) falls back to the
+   shredded route — and always equals the reference answer. Spilling is
+   accounting-only, so a run spills iff its in-memory peak exceeds the
+   budget. *)
+
+let ladder_tests =
+  List.concat_map
+    (fun (name, q) ->
+      List.map
+        (fun (sname, strategy, config) ->
+          let what = Printf.sprintf "%s [%s]" name sname in
+          Alcotest.test_case what `Quick (fun () ->
+              let reference = Fixtures.eval_ref q in
+              let spill_on budget =
+                { config with
+                  Trance.Api.cluster =
+                    { config.Trance.Api.cluster with
+                      worker_mem = budget;
+                      spill = Exec.Config.On };
+                  route_fallback = false }
+              in
+              let clean = run_fault ~config:(spill_on max_int) ~spec:None strategy q in
+              check (what ^ ": unbounded run succeeds") true
+                (clean.Trance.Api.failure = None);
+              let peak = Exec.Stats.peak_worker_bytes clean.Trance.Api.stats in
+              List.iter
+                (fun budget ->
+                  let rung = Printf.sprintf "%s mem=%d" what budget in
+                  let r = run_fault ~config:(spill_on budget) ~spec:None strategy q in
+                  check (rung ^ ": completes or degrades, never fails") true
+                    (r.Trance.Api.failure = None);
+                  (match r.Trance.Api.value with
+                  | Some v ->
+                    check (rung ^ ": reference answer") true
+                      (V.approx_bag_equal reference v)
+                  | None -> Alcotest.fail (rung ^ ": no value"));
+                  check (rung ^ ": spills iff the in-memory peak overflows")
+                    true
+                    (Exec.Stats.spilled_bytes r.Trance.Api.stats > 0
+                    = (peak > budget));
+                  check_recovery_totals rung r;
+                  let r2 = run_fault ~config:(spill_on budget) ~spec:None strategy q in
+                  check (rung ^ ": deterministic replay") true
+                    (Trace.spans_json r.Trance.Api.trace
+                     = Trace.spans_json r2.Trance.Api.trace
+                    && Exec.Stats.snapshot r.Trance.Api.stats
+                       = Exec.Stats.snapshot r2.Trance.Api.stats))
+                [ peak; max 1 (peak / 4); max 1 (peak / 16) ]))
         strategies)
     Fixtures.corpus
 
@@ -219,8 +279,9 @@ let test_fetch_recovers () =
   check_int "one task re-fetched" 1
     (Exec.Stats.retried_tasks r.Trance.Api.stats)
 
-(* a memory squeeze degrades gracefully into the typed OOM failure, with
-   the squeezed (not the configured) budget reported *)
+(* with spilling off and no route fallback, a memory squeeze still
+   surfaces as the typed OOM failure, with the squeezed (not the
+   configured) budget reported *)
 let test_memsqueeze_typed_oom () =
   let clean = run_fault ~spec:None Trance.Api.Standard Fixtures.example1 in
   let peak = Exec.Stats.peak_worker_bytes clean.Trance.Api.stats in
@@ -228,7 +289,9 @@ let test_memsqueeze_typed_oom () =
   let budget = 2 * peak in
   let config =
     { api_config with
-      Trance.Api.cluster = { cluster with worker_mem = budget } }
+      Trance.Api.cluster =
+        { cluster with worker_mem = budget; spill = Exec.Config.Off };
+      route_fallback = false }
   in
   let ok = run_fault ~config ~spec:None Trance.Api.Standard Fixtures.example1 in
   check "budget fits without the squeeze" true (ok.Trance.Api.failure = None);
@@ -243,6 +306,56 @@ let test_memsqueeze_typed_oom () =
       (match other with
       | None -> "success"
       | Some f -> Trance.Api.failure_message f)
+
+(* the same squeeze with spilling on degrades instead of failing: the
+   squeezed stages spill their build sides and the answer is unchanged *)
+let test_memsqueeze_spills () =
+  let clean = run_fault ~spec:None Trance.Api.Standard Fixtures.example1 in
+  let peak = Exec.Stats.peak_worker_bytes clean.Trance.Api.stats in
+  let budget = 2 * peak in
+  let config =
+    { api_config with
+      Trance.Api.cluster =
+        { cluster with worker_mem = budget; spill = Exec.Config.On };
+      route_fallback = false }
+  in
+  let spec = { (F.default_spec F.Mem_squeeze) with F.factor = 0.25 } in
+  let r = run_fault ~config ~spec:(Some spec) Trance.Api.Standard Fixtures.example1 in
+  check "squeeze recovers by spilling" true (r.Trance.Api.failure = None);
+  check "outcome is Degraded" true (Trance.Api.outcome r = Trance.Api.Degraded);
+  check "spilled bytes accounted" true
+    (Exec.Stats.spilled_bytes r.Trance.Api.stats > 0);
+  let reference = Fixtures.eval_ref Fixtures.example1 in
+  check "answer unchanged" true
+    (V.approx_bag_equal reference (Option.get r.Trance.Api.value));
+  check_recovery_totals "squeeze spills" r;
+  match r.Trance.Api.degradation with
+  | Some d ->
+    check "degradation records the spill" true
+      (d.Trance.Api.spilled_bytes > 0 && not d.Trance.Api.fell_back)
+  | None -> Alcotest.fail "expected a degradation record"
+
+(* regression: Config.unbounded's max_int budget must survive the
+   squeeze's float round-trip — never a negative or garbage budget *)
+let test_effective_mem_unbounded () =
+  let active factor =
+    let t = F.make { (F.default_spec F.Mem_squeeze) with F.factor = factor } in
+    ignore (F.on_stage (Some t) ~site:F.Compute ~partitions:4 ~workers:2);
+    t
+  in
+  List.iter
+    (fun factor ->
+      let eff = F.effective_mem (Some (active factor)) max_int in
+      check (Printf.sprintf "factor %g stays positive" factor) true (eff > 0);
+      check (Printf.sprintf "factor %g never exceeds the budget" factor) true
+        (eff <= max_int))
+    [ 1.0; 0.9; 0.5; 0.25; 1e-3 ];
+  check_int "finite budgets still squeeze" 500_000
+    (F.effective_mem (Some (active 0.5)) 1_000_000);
+  check_int "inactive squeeze is the identity" max_int
+    (F.effective_mem
+       (Some (F.make { (F.default_spec F.Mem_squeeze) with F.stage = 5 }))
+       max_int)
 
 (* a clean run is byte-identical to itself: the baseline the injected
    determinism checks rest on *)
@@ -303,6 +416,44 @@ let prop_fault_never_wrong =
         true
       | Some (Trance.Api.Error _), _ -> false)
 
+(* random query x random budget: the spilling layer itself (no fallback)
+   always completes with the reference answer, and spills exactly when the
+   in-memory peak would not fit *)
+let arbitrary_budget_case =
+  QCheck.make
+    ~print:(fun (case, k) ->
+      Printf.sprintf "%s\nbudget divisor: %d" (Qgen.print_case case) k)
+    QCheck.Gen.(pair (QCheck.gen Qgen.arbitrary_case) (int_range 1 64))
+
+let run_budget ~budget q inputs =
+  let prog = Nrc.Program.of_expr ~inputs:Qgen.inputs_ty ~name:"Q" q in
+  Trance.Api.run
+    ~config:
+      { api_config with
+        Trance.Api.cluster =
+          { cluster with worker_mem = budget; spill = Exec.Config.On };
+        route_fallback = false }
+    ~strategy:Trance.Api.Standard prog inputs
+
+let prop_spill_never_wrong =
+  QCheck.Test.make
+    ~name:"random query x random budget: spilling completes with the reference answer"
+    ~count:(count 100) arbitrary_budget_case (fun ((q, inputs), k) ->
+      let expected = Nrc.Eval.eval (Nrc.Eval.env_of_list inputs) q in
+      let clean = run_budget ~budget:max_int q inputs in
+      let peak = Exec.Stats.peak_worker_bytes clean.Trance.Api.stats in
+      let budget = max 1 (peak / k) in
+      let r = run_budget ~budget q inputs in
+      let t = Trace.agg r.Trance.Api.trace in
+      let s = r.Trance.Api.stats in
+      t.Trace.spilled_bytes = Exec.Stats.spilled_bytes s
+      && t.Trace.spill_rounds = Exec.Stats.spill_rounds s
+      && (Exec.Stats.spilled_bytes s > 0) = (peak > budget)
+      &&
+      match r.Trance.Api.failure, r.Trance.Api.value with
+      | None, Some v -> V.approx_bag_equal expected v
+      | _ -> false)
+
 let prop_fault_deterministic =
   QCheck.Test.make
     ~name:"random query x random fault: same seed, same run"
@@ -323,6 +474,7 @@ let () =
         [ Alcotest.test_case "parse / round-trip / reject" `Quick
             test_spec_parsing ] );
       ("corpus campaign", campaign_tests);
+      ("memory ladder", ladder_tests);
       ( "recovery semantics",
         [
           Alcotest.test_case "task attempt budget exhausts typed" `Quick
@@ -333,12 +485,20 @@ let () =
             test_straggler_speculation;
           Alcotest.test_case "fetch failure re-fetches and recovers" `Quick
             test_fetch_recovers;
-          Alcotest.test_case "memory squeeze fails typed" `Quick
-            test_memsqueeze_typed_oom;
+          Alcotest.test_case "memory squeeze fails typed with spilling off"
+            `Quick test_memsqueeze_typed_oom;
+          Alcotest.test_case "memory squeeze spills and degrades" `Quick
+            test_memsqueeze_spills;
+          Alcotest.test_case "effective_mem survives unbounded budgets"
+            `Quick test_effective_mem_unbounded;
           Alcotest.test_case "clean runs are deterministic" `Quick
             test_clean_deterministic;
         ] );
       ( "random campaign",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_fault_never_wrong; prop_fault_deterministic ] );
+          [
+            prop_fault_never_wrong;
+            prop_spill_never_wrong;
+            prop_fault_deterministic;
+          ] );
     ]

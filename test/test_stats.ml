@@ -29,6 +29,9 @@ let gen_snapshot : S.snapshot QCheck.Gen.t =
   let* retried_tasks = int_bound 20 in
   let* speculative_tasks = int_bound 5 in
   let* recomputed_bytes = small in
+  let* spilled_bytes = small in
+  let* spill_partitions = int_bound 50 in
+  let* spill_rounds = int_bound 20 in
   return
     {
       S.shuffled_bytes;
@@ -41,6 +44,9 @@ let gen_snapshot : S.snapshot QCheck.Gen.t =
       retried_tasks;
       speculative_tasks;
       recomputed_bytes;
+      spilled_bytes;
+      spill_partitions;
+      spill_rounds;
     }
 
 let arbitrary_snapshot =
@@ -93,6 +99,9 @@ let prop_merge_monotone =
       && m.S.retried_tasks = a.S.retried_tasks + b.S.retried_tasks
       && m.S.speculative_tasks = a.S.speculative_tasks + b.S.speculative_tasks
       && m.S.recomputed_bytes = a.S.recomputed_bytes + b.S.recomputed_bytes
+      && m.S.spilled_bytes = a.S.spilled_bytes + b.S.spilled_bytes
+      && m.S.spill_partitions = a.S.spill_partitions + b.S.spill_partitions
+      && m.S.spill_rounds = a.S.spill_rounds + b.S.spill_rounds
       && m.S.peak_worker_bytes
          = max a.S.peak_worker_bytes b.S.peak_worker_bytes)
 
@@ -103,6 +112,9 @@ let test_recorders () =
   S.add_retried_tasks t 2;
   S.add_speculative t 1;
   S.add_recomputed t 4096;
+  S.add_spilled t 2048;
+  S.add_spill_partitions t 6;
+  S.add_spill_rounds t 2;
   S.observe_worker t 512;
   S.observe_worker t 256;
   let s = S.snapshot t in
@@ -110,6 +122,9 @@ let test_recorders () =
   Alcotest.(check int) "retried_tasks" 2 s.S.retried_tasks;
   Alcotest.(check int) "speculative_tasks" 1 s.S.speculative_tasks;
   Alcotest.(check int) "recomputed_bytes" 4096 s.S.recomputed_bytes;
+  Alcotest.(check int) "spilled_bytes" 2048 s.S.spilled_bytes;
+  Alcotest.(check int) "spill_partitions" 6 s.S.spill_partitions;
+  Alcotest.(check int) "spill_rounds" 2 s.S.spill_rounds;
   Alcotest.(check int) "peak is a high-water mark" 512 s.S.peak_worker_bytes;
   Alcotest.(check int) "accessors agree with the snapshot"
     s.S.task_retries (S.task_retries t);

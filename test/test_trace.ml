@@ -39,6 +39,12 @@ let check_totals what (r : Trance.Api.run) =
     t.Trace.peak_worker_bytes;
   check_int (what ^ ": stages") (Exec.Stats.stages s) t.Trace.stages;
   check_int (what ^ ": rows") (Exec.Stats.rows_processed s) t.Trace.rows_out;
+  check_int (what ^ ": spilled bytes") (Exec.Stats.spilled_bytes s)
+    t.Trace.spilled_bytes;
+  check_int (what ^ ": spill partitions") (Exec.Stats.spill_partitions s)
+    t.Trace.spill_partitions;
+  check_int (what ^ ": spill rounds") (Exec.Stats.spill_rounds s)
+    t.Trace.spill_rounds;
   check (what ^ ": sim seconds") true
     (close (Exec.Stats.sim_seconds s) t.Trace.sim_seconds)
 
@@ -275,9 +281,13 @@ let test_step_reports_merge () =
        r.Trance.Api.steps)
 
 let test_trace_survives_oom () =
-  (* the FAIL case still reports the partial step slices and spans *)
+  (* the FAIL case (spilling off, no fallback) still reports the partial
+     step slices and spans *)
   let config =
-    { api_config with cluster = { cluster with worker_mem = 512 } }
+    { api_config with
+      cluster =
+        { cluster with worker_mem = 512; spill = Exec.Config.Off };
+      route_fallback = false }
   in
   let r = run_traced ~config Trance.Api.Standard Fixtures.example1 in
   check "failure reported" true (r.Trance.Api.failure <> None);
@@ -287,6 +297,31 @@ let test_trace_survives_oom () =
     check_int "budget is the configured one" 512 budget
   | _ -> Alcotest.fail "expected Out_of_memory");
   check "spans survive the failure" true (r.Trance.Api.trace <> [])
+
+let test_spill_traced () =
+  (* the same budget with spilling on completes; the span tree mirrors the
+     spill counters exactly and the observed peak respects the budget *)
+  let clean = run_traced Trance.Api.Standard Fixtures.example1 in
+  let peak = Exec.Stats.peak_worker_bytes clean.Trance.Api.stats in
+  let budget = max 1 (peak / 4) in
+  let config =
+    { api_config with
+      cluster =
+        { cluster with worker_mem = budget; spill = Exec.Config.On };
+      route_fallback = false }
+  in
+  let r = run_traced ~config Trance.Api.Standard Fixtures.example1 in
+  check "no failure with spilling on" true (r.Trance.Api.failure = None);
+  check "outcome is Degraded" true
+    (Trance.Api.outcome r = Trance.Api.Degraded);
+  check "spill accounted" true
+    (Exec.Stats.spilled_bytes r.Trance.Api.stats > 0);
+  check "post-spill peak within budget" true
+    (Exec.Stats.peak_worker_bytes r.Trance.Api.stats <= budget);
+  check_totals "spill trace" r;
+  check "spilling costs simulated disk time" true
+    (Exec.Stats.sim_seconds r.Trance.Api.stats
+    > Exec.Stats.sim_seconds clean.Trance.Api.stats)
 
 (* ------------------------------------------------------------------ *)
 (* Stats snapshot/diff/merge *)
@@ -348,7 +383,8 @@ let test_json_export () =
   List.iter
     (fun key ->
       check ("run json has " ^ key) true (contains j ("\"" ^ key ^ "\":")))
-    [ "strategy"; "wall_seconds"; "failure"; "totals"; "steps"; "trace" ];
+    [ "strategy"; "wall_seconds"; "failure"; "degradation"; "totals";
+      "steps"; "trace"; "spilled_bytes"; "spill_partitions"; "spill_rounds" ];
   match r.Trance.Api.trace with
   | [] -> Alcotest.fail "no spans"
   | sp :: _ ->
@@ -382,6 +418,8 @@ let () =
             test_step_reports_merge;
           Alcotest.test_case "trace survives OOM" `Quick
             test_trace_survives_oom;
+          Alcotest.test_case "spilled run traced within budget" `Quick
+            test_spill_traced;
         ] );
       ( "stats snapshots",
         [ Alcotest.test_case "snapshot/diff/merge" `Quick test_snapshot_diff ] );
