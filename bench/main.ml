@@ -13,6 +13,9 @@
       (domain elimination, cogroup fusion, aggregation pushdown);
     - [faults]: recovery overhead of each injectable fault (worker crash,
       task failure, fetch failure, straggler, memory squeeze) per strategy;
+    - [recovery]: a crash-storm ladder (0-4 crashes) against each
+      checkpoint policy (off / every=2 / auto), showing how checkpoints
+      bound the lineage a recovery replays;
     - [memory]: graceful degradation under memory pressure — a shrinking
       per-worker budget ladder showing the in-memory / spilling /
       route-fallback crossover per strategy;
@@ -448,31 +451,35 @@ let faults_sweep () =
   let keep c = c in
   let fault_specs =
     [
-      ("none", None, keep);
+      ("none", [], keep);
       ( "crash:stage=1",
-        Some (Exec.Faults.default_spec Exec.Faults.Worker_crash),
+        [ Exec.Faults.default_spec Exec.Faults.Worker_crash ],
         keep );
       ( "task:stage=1,fails=2",
-        Some
+        [
           { (Exec.Faults.default_spec Exec.Faults.Task_failure) with
             Exec.Faults.stage = 1;
-            fails = 2 },
+            fails = 2 };
+        ],
         keep );
       ( "fetch:stage=1,fails=2",
-        Some
+        [
           { (Exec.Faults.default_spec Exec.Faults.Fetch_failure) with
             Exec.Faults.stage = 1;
-            fails = 2 },
+            fails = 2 };
+        ],
         keep );
       ( "straggler:stage=1,mult=8",
-        Some
+        [
           { (Exec.Faults.default_spec Exec.Faults.Straggler) with
-            Exec.Faults.stage = 1 },
+            Exec.Faults.stage = 1 };
+        ],
         keep );
       ( "memsqueeze:factor=0.25 @1MB",
-        Some
+        [
           { (Exec.Faults.default_spec Exec.Faults.Mem_squeeze) with
-            Exec.Faults.factor = 0.25 },
+            Exec.Faults.factor = 0.25 };
+        ],
         squeezed );
     ]
   in
@@ -484,17 +491,17 @@ let faults_sweep () =
     (fun strategy ->
       let clean = ref 0. in
       List.iter
-        (fun (fname, spec, tweak) ->
-          let config = tweak { base with Trance.Api.faults = spec } in
+        (fun (fname, sch, tweak) ->
+          let config = tweak { base with Trance.Api.faults = sch } in
           let label =
             Printf.sprintf "%s/%s" (Trance.Api.strategy_name strategy) fname
           in
           let r = api_run ~label ~config ~strategy prog inputs in
           let s = r.Trance.Api.stats in
           let sim = Exec.Stats.sim_seconds s in
-          if spec = None then clean := sim;
+          if sch = [] then clean := sim;
           let overhead =
-            if spec = None || !clean <= 0. then "-"
+            if sch = [] || !clean <= 0. then "-"
             else Printf.sprintf "%+.1f%%" ((sim /. !clean -. 1.) *. 100.)
           in
           Printf.printf "%-16s %-26s %9.4f %9s %7d %7d %10.1f %10.1f %6d  %s\n"
@@ -511,6 +518,70 @@ let faults_sweep () =
       Trance.Api.Shredded { unshred = false };
       Trance.Api.Shredded { unshred = true };
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Recovery ladder: escalate from a clean run to a 4-crash storm and show
+   what each checkpoint policy buys. Without checkpoints the lineage a
+   crash replays grows with the run, so recomputed bytes climb with storm
+   size; every=2 bounds the replay window and Auto places checkpoints only
+   where the break-even test under the configured fault rate says they pay
+   for themselves. *)
+
+let recovery_sweep () =
+  Printf.printf
+    "\n\
+     === Bounded recovery: crash-storm ladder x checkpoint policy \
+     (nested-to-nested L2, shredded) ===\n";
+  let family = Tpch.Queries.Nested_to_nested and level = 2 in
+  let prog = Tpch.Queries.program ~wide:false ~family ~level () in
+  let db = Tpch.Generator.generate (tpch_scale ()) in
+  let inputs = Tpch.Queries.input_values ~wide:false ~family ~level db in
+  let base = base_config ~default_mem:10000. () in
+  let policies =
+    [
+      Exec.Config.No_checkpoints; Exec.Config.Every 2; Exec.Config.Auto;
+    ]
+  in
+  Printf.printf "%-8s %-10s %9s %10s %6s %12s %9s %11s  %s\n" "storm"
+    "checkpoint" "sim(s)" "recompKB" "ckpts" "checkpointKB" "truncKB"
+    "recovery(s)" "outcome";
+  Printf.printf "%s\n" (String.make 102 '-');
+  List.iter
+    (fun n ->
+      let sch = if n = 0 then [] else Exec.Faults.storm ~first_stage:2 n in
+      List.iter
+        (fun policy ->
+          let config =
+            { base with
+              Trance.Api.faults = sch;
+              cluster =
+                { base.Trance.Api.cluster with
+                  Exec.Config.checkpoint = policy;
+                  (* give Auto a fault rate matching the storm it faces,
+                     not the quiet default *)
+                  fault_rate = (if n = 0 then 0.05 else 0.5) } }
+          in
+          let label =
+            Printf.sprintf "storm=%d/%s" n (Exec.Config.checkpoint_name policy)
+          in
+          let r =
+            api_run ~label ~config
+              ~strategy:(Trance.Api.Shredded { unshred = true })
+              prog inputs
+          in
+          let s = r.Trance.Api.stats in
+          Printf.printf "%-8d %-10s %9.4f %10.1f %6d %12.1f %9.1f %11.4f  %s\n"
+            n
+            (Exec.Config.checkpoint_name policy)
+            (Exec.Stats.sim_seconds s)
+            (float_of_int (Exec.Stats.recomputed_bytes s) /. 1024.)
+            (Exec.Stats.checkpoints_written s)
+            (float_of_int (Exec.Stats.checkpoint_bytes s) /. 1024.)
+            (float_of_int (Exec.Stats.lineage_truncated s) /. 1024.)
+            (Exec.Stats.recovery_seconds s)
+            (Trance.Api.outcome_name (Trance.Api.outcome r)))
+        policies)
+    [ 0; 1; 2; 3; 4 ]
 
 (* ------------------------------------------------------------------ *)
 (* Memory pressure: sweep the per-worker budget from comfortable to
@@ -660,6 +731,7 @@ let all_targets =
     ("scaling", scaling);
     ("cost_model", cost_model);
     ("faults", faults_sweep);
+    ("recovery", recovery_sweep);
     ("memory", memory);
     ("micro", micro);
   ]
@@ -726,7 +798,7 @@ let targets_arg =
         ~doc:
           "Benchmark targets to run, in order (default: all). Available: \
            fig7_narrow, fig7_wide, fig8_skew, fig9_biomed, ablate, scaling, \
-           cost_model, faults, memory, micro.")
+           cost_model, faults, recovery, memory, micro.")
 
 let main scale mem json ts =
   scale_factor := scale;

@@ -91,19 +91,52 @@ let json_arg =
            trees) as JSON to FILE. Implies tracing.")
 
 let inject_arg =
-  let parse s = Result.map_error (fun m -> `Msg m) (Exec.Faults.spec_of_string s) in
-  let print ppf sp = Fmt.string ppf (Exec.Faults.spec_to_string sp) in
+  let parse s =
+    Result.map_error (fun m -> `Msg m) (Exec.Faults.schedule_of_string s)
+  in
+  let print ppf sch = Fmt.string ppf (Exec.Faults.schedule_to_string sch) in
   Arg.(
     value
-    & opt (some (conv (parse, print))) None
-    & info [ "inject" ] ~docv:"FAULT"
+    & opt (conv (parse, print)) []
+    & info [ "inject" ] ~docv:"SCHEDULE"
         ~doc:
-          "Inject one deterministic fault into the run and recover from it \
-           Spark-style. Syntax: crash:stage=2, task:stage=1,fails=2, \
-           fetch:stage=3, straggler:stage=1,mult=8, \
-           memsqueeze:stage=0,factor=0.25. Recovery cost (retries, \
-           speculative tasks, recomputed bytes, spilled bytes) shows in the \
-           stats and the trace.")
+          "Inject a deterministic fault schedule into the run and recover \
+           from it Spark-style. A schedule is one or more '+'-separated \
+           faults, e.g. crash:stage=2 or \
+           'crash:stage=2+task:stage=4,fails=2' (a fault storm). Fault \
+           syntax: crash:stage=2, task:stage=1,fails=2, fetch:stage=3, \
+           straggler:stage=1,mult=8, memsqueeze:stage=0,factor=0.25. \
+           Recovery cost (retries, speculative tasks, recomputed bytes, \
+           recovery seconds) shows in the stats and the trace; combine with \
+           --checkpoint to bound it.")
+
+let checkpoint_arg =
+  let parse s =
+    Result.map_error (fun m -> `Msg m) (Exec.Config.checkpoint_of_string s)
+  in
+  let print ppf c = Fmt.string ppf (Exec.Config.checkpoint_name c) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Exec.Config.default.Exec.Config.checkpoint
+    & info [ "checkpoint" ] ~docv:"POLICY"
+        ~doc:
+          "Materialize stage outputs to simulated replicated stable storage, \
+           truncating recovery lineage: off (default), every=K (every K \
+           compute stages), or auto (checkpoint where expected recompute \
+           under the configured fault rate exceeds the write cost). The \
+           write cost is charged to the stage; checkpoints and truncated \
+           lineage show in the stats.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-run deadline in simulated seconds. A run that exceeds it — \
+           typically while recovering from an injected fault storm — \
+           finishes as a typed failure naming the deadline instead of \
+           recomputing unboundedly.")
 
 let spill_arg =
   let parse s = Result.map_error (fun m -> `Msg m) (Exec.Config.spill_of_string s) in
@@ -128,7 +161,8 @@ let no_fallback_arg =
            shredded route.")
 
 let api_config ~mem ~skew_aware ?(spill = Exec.Config.default.Exec.Config.spill)
-    ?(no_fallback = false) ?(trace = false) ?faults () =
+    ?(no_fallback = false) ?(trace = false) ?(faults = [])
+    ?(checkpoint = Exec.Config.default.Exec.Config.checkpoint) ?deadline () =
   { Trance.Api.default_config with
     skew_aware;
     trace;
@@ -137,7 +171,9 @@ let api_config ~mem ~skew_aware ?(spill = Exec.Config.default.Exec.Config.spill)
     cluster =
       { Exec.Config.default with
         worker_mem = int_of_float (mem *. 1048576.);
-        spill };
+        spill;
+        checkpoint;
+        deadline };
     optimizer =
       { Plan.Optimize.default with unique_keys = [ ("Part", [ "pkey" ]) ] } }
 
@@ -217,6 +253,13 @@ let explain_cmd =
 (* run: execute one cell on the simulator *)
 
 let print_outcome (r : Trance.Api.run) =
+  let s0 = r.Trance.Api.stats in
+  if Exec.Stats.checkpoints_written s0 > 0 then
+    Fmt.pr
+      "wrote %d checkpoints (%.1fKB), truncating %.1fKB of recovery lineage@."
+      (Exec.Stats.checkpoints_written s0)
+      (float_of_int (Exec.Stats.checkpoint_bytes s0) /. 1024.)
+      (float_of_int (Exec.Stats.lineage_truncated s0) /. 1024.);
   match Trance.Api.outcome r with
   | Trance.Api.Degraded ->
     let s = r.Trance.Api.stats in
@@ -227,11 +270,12 @@ let print_outcome (r : Trance.Api.run) =
     then
       Fmt.pr
         "recovered from injected fault: %d retries, %d retried tasks, %d \
-         speculative, %.1fKB recomputed@."
+         speculative, %.1fKB recomputed, %.4fs recovery time@."
         (Exec.Stats.task_retries s)
         (Exec.Stats.retried_tasks s)
         (Exec.Stats.speculative_tasks s)
-        (float_of_int (Exec.Stats.recomputed_bytes s) /. 1024.);
+        (float_of_int (Exec.Stats.recomputed_bytes s) /. 1024.)
+        (Exec.Stats.recovery_seconds s);
     Option.iter
       (fun (d : Trance.Api.degradation) ->
         if d.Trance.Api.fell_back then
@@ -248,13 +292,13 @@ let print_outcome (r : Trance.Api.run) =
   | Trance.Api.Completed | Trance.Api.Failed -> ()
 
 let run_cell family level wide skew customers strategy skew_aware mem spill
-    no_fallback trace json inject =
+    no_fallback trace json inject checkpoint deadline =
   let db = make_db ~customers ~skew in
   let prog = Tpch.Queries.program ~wide ~family ~level () in
   let inputs = Tpch.Queries.input_values ~wide ~family ~level db in
   let config =
     api_config ~mem ~skew_aware ~spill ~no_fallback
-      ~trace:(trace || json <> None) ?faults:inject ()
+      ~trace:(trace || json <> None) ~faults:inject ~checkpoint ?deadline ()
   in
   let r = Trance.Api.run ~config ~strategy prog inputs in
   Fmt.pr "%a@." Trance.Api.pp_run r;
@@ -282,7 +326,7 @@ let run_cmd =
     Term.(
       const run_cell $ family_arg $ level_arg $ wide_arg $ skew_arg $ scale_arg
       $ strategy_arg $ skew_aware_arg $ mem_arg $ spill_arg $ no_fallback_arg
-      $ trace_arg $ json_arg $ inject_arg)
+      $ trace_arg $ json_arg $ inject_arg $ checkpoint_arg $ deadline_arg)
 
 (* ------------------------------------------------------------------ *)
 (* biomed: the E2E pipeline *)
@@ -291,7 +335,7 @@ let small_arg =
   Arg.(value & flag & info [ "small" ] ~doc:"Use the small dataset variant.")
 
 let run_biomed strategy skew_aware mem spill no_fallback small trace json
-    inject =
+    inject checkpoint deadline =
   let scale =
     if small then Biomed.Generator.small_scale else Biomed.Generator.full_scale
   in
@@ -299,7 +343,7 @@ let run_biomed strategy skew_aware mem spill no_fallback small trace json
   let inputs = Biomed.Generator.inputs db in
   let config =
     api_config ~mem ~skew_aware ~spill ~no_fallback
-      ~trace:(trace || json <> None) ?faults:inject ()
+      ~trace:(trace || json <> None) ~faults:inject ~checkpoint ?deadline ()
   in
   let r = Trance.Api.run ~config ~strategy Biomed.Pipeline.program inputs in
   Fmt.pr "%a@." Trance.Api.pp_run r;
@@ -318,7 +362,8 @@ let biomed_cmd =
     (Cmd.info "biomed" ~doc:"Run the biomedical E2E pipeline (Figure 9).")
     Term.(
       const run_biomed $ strategy_arg $ skew_aware_arg $ mem_arg $ spill_arg
-      $ no_fallback_arg $ small_arg $ trace_arg $ json_arg $ inject_arg)
+      $ no_fallback_arg $ small_arg $ trace_arg $ json_arg $ inject_arg
+      $ checkpoint_arg $ deadline_arg)
 
 (* ------------------------------------------------------------------ *)
 (* query: parse and run a textual NRC query against generated TPC-H data *)
@@ -403,6 +448,19 @@ let run_recommend family level wide skew customers =
     (match r.Trance.Cost.pick with
     | `Standard -> "the standard route"
     | `Shredded -> "the shredded route");
+  let cluster = Exec.Config.default in
+  let plans = Trance.Api.compile_standard prog in
+  let ck =
+    Trance.Cost.recommend_checkpoint_interval cluster
+      (Trance.Cost.stats_of_inputs inputs)
+      plans
+  in
+  Fmt.pr
+    "checkpoint interval (Young-Daly, fault rate %.3g/stage): every=%d \
+     (avg stage %.1fKB, write %.4gs, expected recompute %.4gs/stage)@."
+    cluster.Exec.Config.fault_rate ck.Trance.Cost.interval
+    (ck.Trance.Cost.avg_stage_bytes /. 1024.)
+    ck.Trance.Cost.write_seconds ck.Trance.Cost.expected_recompute_seconds;
   0
 
 let recommend_cmd =

@@ -42,7 +42,7 @@ type config = {
   materializer : Materialize.config;
   collect : bool; (* gather the result value back to the driver *)
   trace : bool; (* record per-operator execution span trees *)
-  faults : Exec.Faults.spec option; (* inject one fault per run *)
+  faults : Exec.Faults.schedule; (* the fault storm this run will face *)
   route_fallback : bool;
       (* when the standard route dies of memory exhaustion, re-plan the
          same program down the shredded route and answer from there *)
@@ -57,7 +57,7 @@ let default_config =
     materializer = Materialize.default;
     collect = true;
     trace = false;
-    faults = None;
+    faults = [];
     route_fallback = true;
   }
 
@@ -66,6 +66,9 @@ type failure =
       (** a worker exceeded its budget at [stage] — the paper's FAIL *)
   | Task_failed of { stage : string; partition : int; attempts : int }
       (** an injected task failure exhausted its attempt budget *)
+  | Deadline_missed of { stage : string; sim_seconds : float; deadline : float }
+      (** the run blew its simulated-seconds deadline at [stage], typically
+          while paying for storm recovery: typed, never a silent hang *)
   | Error of string
 
 let pp_bytes b =
@@ -78,6 +81,9 @@ let failure_message = function
   | Task_failed { stage; partition; attempts } ->
     Printf.sprintf "%s: task on partition %d abandoned after %d attempts"
       stage partition attempts
+  | Deadline_missed { stage; sim_seconds; deadline } ->
+    Printf.sprintf "%s: deadline %.3fs exceeded (%.3fs simulated)" stage
+      deadline sim_seconds
   | Error msg -> msg
 
 let pp_failure ppf f = Fmt.string ppf (failure_message f)
@@ -102,6 +108,7 @@ type step_report = {
 
 type run = {
   strategy : string;
+  config : config; (* the effective configuration the run executed under *)
   value : V.t option; (* collected result (None when [collect] is false) *)
   stats : Exec.Stats.t;
   wall_seconds : float;
@@ -192,17 +199,19 @@ let reports_of (acc : step_acc) : step_report list =
       })
     acc
 
-(* run assignments one at a time, slicing the stats (and trace) per step *)
-let run_steps ~options ~config ~stats ~trace ~faults ~targets ~steps_out env
-    plans =
+(* run assignments one at a time, slicing the stats (and trace) per step;
+   one checkpoint manager spans all of them so recovery lineage is
+   run-wide *)
+let run_steps ~options ~config ~stats ~trace ~faults ~checkpoint ~targets
+    ~steps_out env plans =
   List.iter
     (fun (name, plan) ->
       let before = Exec.Stats.snapshot stats in
       let ds =
         try
           Exec.Trace.with_span trace ~op:"Assignment" ~stage:name (fun () ->
-              Exec.Executor.run_plan ~options ?trace ?faults ~config ~stats
-                env plan)
+              Exec.Executor.run_plan ~options ?trace ?faults ~checkpoint
+                ~config ~stats env plan)
         with
         (* attribute the failure to its source step; the partially filled
            step slice is still recorded for the failure report *)
@@ -218,6 +227,12 @@ let run_steps ~options ~config ~stats ~trace ~faults ~targets ~steps_out env
           raise
             (Exec.Faults.Task_abandoned
                { a with stage = step_of_target targets name ^ "/" ^ a.stage })
+        | Exec.Stats.Deadline_exceeded d ->
+          record_step ~stats ~trace ~before
+            ~step:(step_of_target targets name) steps_out;
+          raise
+            (Exec.Stats.Deadline_exceeded
+               { d with stage = step_of_target targets name ^ "/" ^ d.stage })
       in
       Hashtbl.replace env name ds;
       record_step ~stats ~trace ~before ~step:(step_of_target targets name)
@@ -247,13 +262,44 @@ let pp_run ppf r =
    so downstream diffing of run_json never sees keys come and go. *)
 let snapshot_json (s : Exec.Stats.snapshot) =
   Printf.sprintf
-    "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"peak_worker_bytes\":%d,\"rows_processed\":%d,\"stages\":%d,\"sim_seconds\":%.6g,\"task_retries\":%d,\"retried_tasks\":%d,\"speculative_tasks\":%d,\"recomputed_bytes\":%d,\"spilled_bytes\":%d,\"spill_partitions\":%d,\"spill_rounds\":%d}"
+    "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"peak_worker_bytes\":%d,\"rows_processed\":%d,\"stages\":%d,\"sim_seconds\":%.6g,\"task_retries\":%d,\"retried_tasks\":%d,\"speculative_tasks\":%d,\"recomputed_bytes\":%d,\"spilled_bytes\":%d,\"spill_partitions\":%d,\"spill_rounds\":%d,\"checkpoints_written\":%d,\"checkpoint_bytes\":%d,\"lineage_truncated\":%d,\"recovery_seconds\":%.6g}"
     s.Exec.Stats.shuffled_bytes s.Exec.Stats.broadcast_bytes
     s.Exec.Stats.peak_worker_bytes s.Exec.Stats.rows_processed
     s.Exec.Stats.stages s.Exec.Stats.sim_seconds s.Exec.Stats.task_retries
     s.Exec.Stats.retried_tasks s.Exec.Stats.speculative_tasks
     s.Exec.Stats.recomputed_bytes s.Exec.Stats.spilled_bytes
     s.Exec.Stats.spill_partitions s.Exec.Stats.spill_rounds
+    s.Exec.Stats.checkpoints_written s.Exec.Stats.checkpoint_bytes
+    s.Exec.Stats.lineage_truncated s.Exec.Stats.recovery_seconds
+
+(* The effective configuration, embedded in run_json so an exported run is
+   self-describing and replayable from the JSON alone. [worker_mem] is -1
+   for an unbounded budget (max_int is not a useful JSON number). *)
+let config_json b (c : config) =
+  let cl = c.cluster in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"workers\":%d,\"partitions\":%d,\"worker_mem\":%d,\"broadcast_limit\":%d,\"seed\":%d,\"max_task_attempts\":%d,\"speculation\":%b,\"spill\":\"%s\",\"max_spill_rounds\":%d,\"checkpoint\":\"%s\",\"checkpoint_replication\":%d,\"fault_rate\":%.6g,\"deadline\":%s,\"skew_aware\":%b,\"cogroup\":%b,\"collect\":%b,\"trace\":%b,\"route_fallback\":%b,\"faults\":"
+       cl.Exec.Config.workers cl.Exec.Config.partitions
+       (if cl.Exec.Config.worker_mem = max_int then -1
+        else cl.Exec.Config.worker_mem)
+       cl.Exec.Config.broadcast_limit cl.Exec.Config.seed
+       cl.Exec.Config.max_task_attempts cl.Exec.Config.speculation
+       (Exec.Config.spill_name cl.Exec.Config.spill)
+       cl.Exec.Config.max_spill_rounds
+       (Exec.Config.checkpoint_name cl.Exec.Config.checkpoint)
+       cl.Exec.Config.checkpoint_replication cl.Exec.Config.fault_rate
+       (match cl.Exec.Config.deadline with
+       | None -> "null"
+       | Some d -> Printf.sprintf "%.6g" d)
+       c.skew_aware c.cogroup c.collect c.trace c.route_fallback);
+  (match c.faults with
+  | [] -> Buffer.add_string b "null"
+  | sch ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (Exec.Faults.schedule_to_string sch);
+    Buffer.add_char b '"');
+  Buffer.add_char b '}'
 
 let json_string b s =
   Buffer.add_char b '"';
@@ -294,6 +340,8 @@ let run_json (r : run) : string =
     | None -> Buffer.add_string b "null"
     | Some f -> json_string b (failure_message f));
     Buffer.add_char b '}');
+  Buffer.add_string b ",\"config\":";
+  config_json b r.config;
   Buffer.add_string b ",\"totals\":";
   Buffer.add_string b (snapshot_json (Exec.Stats.snapshot r.stats));
   Buffer.add_string b ",\"steps\":[";
@@ -447,6 +495,8 @@ let catch_oom f =
     (None, Some (Out_of_memory { stage; worker_bytes; budget }))
   | exception Exec.Faults.Task_abandoned { stage; partition; attempts } ->
     (None, Some (Task_failed { stage; partition; attempts }))
+  | exception Exec.Stats.Deadline_exceeded { stage; sim_seconds; deadline } ->
+    (None, Some (Deadline_missed { stage; sim_seconds; deadline }))
 
 (* One route, one run; never raises on memory exhaustion. *)
 let run_once ~(config : config) ~(strategy : strategy) (p : Nrc.Program.t)
@@ -460,10 +510,12 @@ let run_once ~(config : config) ~(strategy : strategy) (p : Nrc.Program.t)
   let trace = if config.trace then Some (Exec.Trace.create ()) else None in
   let cluster = config.cluster in
   let faults =
-    Option.map
-      (Exec.Faults.make ~seed:cluster.Exec.Config.seed)
-      config.faults
+    match config.faults with
+    | [] -> None
+    | sch -> Some (Exec.Faults.make ~seed:cluster.Exec.Config.seed sch)
   in
+  (* one manager per run attempt: recovery lineage spans every step *)
+  let checkpoint = Exec.Checkpoint.make cluster in
   let exec_options =
     {
       Exec.Executor.skew_aware = config.skew_aware;
@@ -487,6 +539,7 @@ let run_once ~(config : config) ~(strategy : strategy) (p : Nrc.Program.t)
   let targets =
     List.map (fun { Nrc.Program.target; _ } -> target) p.Nrc.Program.assignments
   in
+  let run_config = config in
   let finish ~strategy ~value ~wall ~failure ~steps_out =
     let s = Exec.Stats.snapshot stats in
     let degradation =
@@ -504,6 +557,7 @@ let run_once ~(config : config) ~(strategy : strategy) (p : Nrc.Program.t)
     in
     {
       strategy = strategy_name strategy;
+      config = run_config;
       value;
       stats;
       wall_seconds = wall;
@@ -522,7 +576,7 @@ let run_once ~(config : config) ~(strategy : strategy) (p : Nrc.Program.t)
       timed (fun () ->
           catch_oom (fun () ->
               run_steps ~options:exec_options ~config:cluster ~stats ~trace
-                ~faults ~targets ~steps_out env plans;
+                ~faults ~checkpoint ~targets ~steps_out env plans;
               if config.collect then
                 Some (Exec.Dataset.to_bag (Hashtbl.find env result_name))
               else None))
@@ -538,7 +592,7 @@ let run_once ~(config : config) ~(strategy : strategy) (p : Nrc.Program.t)
       timed (fun () ->
           catch_oom (fun () ->
               run_steps ~options:exec_options ~config:cluster ~stats ~trace
-                ~faults ~targets ~steps_out env compiled.plans;
+                ~faults ~checkpoint ~targets ~steps_out env compiled.plans;
               match unshred, compiled.unshred_plan with
               | true, Some uplan ->
                 let before = Exec.Stats.snapshot stats in
@@ -546,7 +600,7 @@ let run_once ~(config : config) ~(strategy : strategy) (p : Nrc.Program.t)
                   Exec.Trace.with_span trace ~op:"Assignment" ~stage:"Unshred"
                     (fun () ->
                       Exec.Executor.run_plan ~options:exec_options ?trace
-                        ?faults ~config:cluster ~stats env uplan)
+                        ?faults ~checkpoint ~config:cluster ~stats env uplan)
                 in
                 record_step ~stats ~trace ~before ~step:"Unshred" steps_out;
                 if config.collect then Some (Exec.Dataset.to_bag ds) else None

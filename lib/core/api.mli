@@ -35,9 +35,10 @@ type config = {
   materializer : Materialize.config;
   collect : bool;  (** gather the result back to the driver *)
   trace : bool;  (** record per-operator execution span trees *)
-  faults : Exec.Faults.spec option;
-      (** inject one deterministic fault per run (seeded from
-          [cluster.seed]); recovery cost shows in the stats and trace *)
+  faults : Exec.Faults.schedule;
+      (** the deterministic fault storm this run will face (seeded from
+          [cluster.seed]; [[]] is a clean run); recovery cost shows in the
+          stats and trace, bounded by [cluster.checkpoint] placement *)
   route_fallback : bool;
       (** when a Standard run fails with {!Out_of_memory} — spilling off,
           or the spilling layer exhausted {!Exec.Config.t.max_spill_rounds}
@@ -46,7 +47,7 @@ type config = {
 }
 
 val default_config : config
-(** Tracing off, no faults, route fallback on. *)
+(** Tracing off, no faults, no checkpoints, route fallback on. *)
 
 (** {2 Reporting} *)
 
@@ -58,6 +59,11 @@ type failure =
       (** an injected task failure exhausted
           {!Exec.Config.t.max_task_attempts}: the run fails typed rather
           than returning a wrong answer *)
+  | Deadline_missed of { stage : string; sim_seconds : float; deadline : float }
+      (** the run blew {!Exec.Config.t.deadline} at [stage] — typically
+          while paying for storm recovery. Typed and named in CLI output
+          and [run_json]: a deadline-bound run never hangs silently in a
+          recompute loop *)
   | Error of string
 
 val failure_message : failure -> string
@@ -93,6 +99,7 @@ type step_report = {
 
 type run = {
   strategy : string;
+  config : config;  (** the effective configuration the run executed under *)
   value : Nrc.Value.t option;  (** None when not collected or failed *)
   stats : Exec.Stats.t;
   wall_seconds : float;
@@ -123,10 +130,12 @@ val pp_run : Format.formatter -> run -> unit
 
 val run_json : run -> string
 (** The whole run as a JSON object — strategy, wall seconds, failure,
-    degradation, totals, per-step reports (with span trees), root spans.
-    Schema-stable: every counter key (including the spill counters) and the
-    ["degradation"] key appear in every run, so downstream diffs never see
-    keys come and go. *)
+    degradation, the effective ["config"] (workers, partitions, worker_mem,
+    seed, spill, checkpoint, deadline, fault schedule — enough to replay
+    the run from the JSON alone), totals, per-step reports (with span
+    trees), root spans. Schema-stable: every counter key (including the
+    spill and checkpoint counters) and the ["degradation"] key appear in
+    every run, so downstream diffs never see keys come and go. *)
 
 (** {2 Compilation} *)
 

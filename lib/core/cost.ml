@@ -251,6 +251,57 @@ type recommendation = {
   pick : [ `Standard | `Shredded ];
 }
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint interval estimation (Young-Daly under the simulator's cost
+   model). With a per-stage fault probability [fault_rate], a fault at
+   stage i replays the ~k/2 stages of lineage accrued since the last
+   checkpoint, so per stage the expected recompute cost is
+   [rate * k/2 * stage_bytes * cpu_weight] while the amortized write cost
+   is [stage_bytes * disk_weight * replication / k]. Balancing the two
+   gives k = sqrt(2 * delta / (rate * stage_time)) with delta the write
+   time of one checkpoint — Young's classic first-order optimum. *)
+
+type checkpoint_estimate = {
+  avg_stage_bytes : float;  (* estimated bytes a pipeline stage produces *)
+  interval : int;  (* recommended [Config.Every] interval, >= 1 *)
+  write_seconds : float;  (* estimated cost of one checkpoint write *)
+  expected_recompute_seconds : float;
+      (* expected per-stage recompute cost at that interval *)
+}
+
+let recommend_checkpoint_interval (cluster : Exec.Config.t)
+    (stats0 : stats) (plans : (string * Op.t) list) : checkpoint_estimate =
+  let total_bytes, n_stages, _ =
+    List.fold_left
+      (fun (bytes, n, stats) (name, plan) ->
+        let e = estimate stats plan in
+        let table =
+          { rows = max 1. e.out_rows; row_bytes = avg_row e; fanouts = [] }
+        in
+        (bytes +. e.out_bytes, n + 1, (name, table) :: stats))
+      (0., 0, stats0) plans
+  in
+  let avg_stage_bytes = total_bytes /. float_of_int (max 1 n_stages) in
+  let stage_seconds = avg_stage_bytes *. cluster.Exec.Config.cpu_weight in
+  let delta =
+    avg_stage_bytes *. cluster.Exec.Config.disk_weight
+    *. float_of_int (max 1 cluster.Exec.Config.checkpoint_replication)
+  in
+  let rate = max 1e-9 cluster.Exec.Config.fault_rate in
+  let k =
+    if stage_seconds <= 0. then 1
+    else
+      int_of_float (Float.round (sqrt (2. *. delta /. (rate *. stage_seconds))))
+  in
+  let interval = max 1 k in
+  {
+    avg_stage_bytes;
+    interval;
+    write_seconds = delta;
+    expected_recompute_seconds =
+      rate *. (float_of_int interval /. 2.) *. stage_seconds;
+  }
+
 (** Estimate both compilation routes of a program on the given inputs and
     recommend the cheaper one. The shredded estimate includes the
     materialized assignments (and the unshredding plan when the output is

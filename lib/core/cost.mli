@@ -43,6 +43,23 @@ type recommendation = {
   pick : [ `Standard | `Shredded ];
 }
 
+(** Young–Daly checkpoint interval under the simulator's cost model. *)
+type checkpoint_estimate = {
+  avg_stage_bytes : float;  (** estimated bytes an average stage produces *)
+  interval : int;  (** recommended {!Exec.Config.Every} interval, >= 1 *)
+  write_seconds : float;  (** estimated cost of one checkpoint write *)
+  expected_recompute_seconds : float;
+      (** expected per-stage recompute cost at that interval *)
+}
+
+val recommend_checkpoint_interval :
+  Exec.Config.t -> stats -> (string * Plan.Op.t) list -> checkpoint_estimate
+(** Balance the amortized checkpoint-write cost against the expected
+    lineage-recompute cost under {!Exec.Config.t.fault_rate}:
+    [k = sqrt (2 * write_seconds / (fault_rate * stage_seconds))], Young's
+    first-order optimum, clamped to at least 1. Surfaced by
+    [trance recommend]. *)
+
 val recommend :
   ?config:Api.config ->
   ?unshred:bool ->

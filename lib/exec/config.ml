@@ -9,6 +9,8 @@
 
 type spill = Off | On
 
+type checkpoint = No_checkpoints | Every of int | Auto
+
 type t = {
   workers : int; (* worker nodes; partitions are assigned round-robin *)
   partitions : int; (* shuffle partitions *)
@@ -24,6 +26,10 @@ type t = {
   spill : spill; (* Off reproduces the paper's FAIL bars; On spills to disk *)
   max_spill_rounds : int; (* build passes before a stage gives up (then OOM) *)
   disk_weight : float; (* simulated seconds per byte written to or read from disk *)
+  checkpoint : checkpoint; (* stage-boundary materialization policy *)
+  checkpoint_replication : int; (* copies written per checkpoint (HDFS: 3) *)
+  fault_rate : float; (* expected faults per stage, drives Auto placement *)
+  deadline : float option; (* simulated-seconds budget for the whole run *)
 }
 
 let spill_of_string = function
@@ -33,10 +39,31 @@ let spill_of_string = function
 
 let spill_name = function Off -> "off" | On -> "on"
 
+let checkpoint_of_string s =
+  match s with
+  | "off" | "none" | "no" -> Ok No_checkpoints
+  | "auto" -> Ok Auto
+  | _ -> (
+    match String.split_on_char '=' s with
+    | [ "every"; v ] -> (
+      match int_of_string_opt v with
+      | Some k when k >= 1 -> Ok (Every k)
+      | _ -> Error (Printf.sprintf "bad checkpoint interval %S" v))
+    | _ ->
+      Error
+        (Printf.sprintf "unknown checkpoint policy %S (expected off, every=K, auto)"
+           s))
+
+let checkpoint_name = function
+  | No_checkpoints -> "off"
+  | Every k -> Printf.sprintf "every=%d" k
+  | Auto -> "auto"
+
 (* CI's memory-pressure matrix sweeps the *default* budget and spill mode
    through the environment so the tier-1 suite runs unchanged under each
    cell; tests that pin [worker_mem] or [spill] explicitly are unaffected.
-   TRANCE_WORKER_MEM is MB or "unbounded"; TRANCE_SPILL is on|off. *)
+   TRANCE_WORKER_MEM is MB or "unbounded"; TRANCE_SPILL is on|off;
+   TRANCE_CHECKPOINT is off|every=K|auto. *)
 let default =
   let base =
     {
@@ -54,6 +81,10 @@ let default =
       spill = Off;
       max_spill_rounds = 256;
       disk_weight = 2e-8;
+      checkpoint = No_checkpoints;
+      checkpoint_replication = 3;
+      fault_rate = 0.05;
+      deadline = None;
     }
   in
   let base =
@@ -66,8 +97,13 @@ let default =
         | _ -> base)
     | None -> base
   in
-  match Option.map spill_of_string (Sys.getenv_opt "TRANCE_SPILL") with
-  | Some (Ok sp) -> { base with spill = sp }
+  let base =
+    match Option.map spill_of_string (Sys.getenv_opt "TRANCE_SPILL") with
+    | Some (Ok sp) -> { base with spill = sp }
+    | _ -> base
+  in
+  match Option.map checkpoint_of_string (Sys.getenv_opt "TRANCE_CHECKPOINT") with
+  | Some (Ok ck) -> { base with checkpoint = ck }
   | _ -> base
 
 (** A configuration that never fails on memory: used by tests that check

@@ -10,6 +10,17 @@ type spill =
   | Off  (** deny over-budget reservations: the paper's FAIL bars *)
   | On  (** stage the build side through simulated disk and finish slowly *)
 
+(** Stage-boundary checkpoint placement (see {!Checkpoint}). *)
+type checkpoint =
+  | No_checkpoints  (** recovery always replays the full lineage *)
+  | Every of int
+      (** materialize the live [rset] to replicated stable storage every K
+          accounted compute stages *)
+  | Auto
+      (** checkpoint only where the expected recompute cost under
+          [fault_rate] exceeds the write cost (a Young–Daly-style
+          break-even test per stage boundary) *)
+
 type t = {
   workers : int;  (** worker nodes; partitions assigned round-robin *)
   partitions : int;  (** shuffle partitions *)
@@ -34,15 +45,34 @@ type t = {
           denies the reservation and the stage fails typed OOM *)
   disk_weight : float;
       (** simulated seconds per byte written to or read back from disk *)
+  checkpoint : checkpoint;
+      (** when the executor materializes stage output to simulated
+          replicated stable storage, truncating recovery lineage *)
+  checkpoint_replication : int;
+      (** copies written per checkpoint; the write cost is
+          [bytes * disk_weight * replication] (HDFS default: 3) *)
+  fault_rate : float;
+      (** expected faults per accounted stage; drives [Auto] checkpoint
+          placement and the {!Cost} interval recommendation *)
+  deadline : float option;
+      (** simulated-seconds budget for a whole run: a run that exceeds it
+          (typically while paying for recovery) fails typed
+          ({!Stats.Deadline_exceeded}) instead of recomputing unboundedly *)
 }
 
 val spill_of_string : string -> (spill, string) result
 val spill_name : spill -> string
 
+val checkpoint_of_string : string -> (checkpoint, string) result
+(** CLI syntax: [off] (or [none]/[no]), [every=K] with K >= 1, [auto]. *)
+
+val checkpoint_name : checkpoint -> string
+(** Canonical round-trippable form of {!checkpoint_of_string}. *)
+
 val default : t
-(** Honours the CI matrix hooks [TRANCE_WORKER_MEM] (MB, or ["unbounded"])
-    and [TRANCE_SPILL] (on|off) so the whole suite can run under a swept
-    budget without code changes. *)
+(** Honours the CI matrix hooks [TRANCE_WORKER_MEM] (MB, or ["unbounded"]),
+    [TRANCE_SPILL] (on|off) and [TRANCE_CHECKPOINT] (off|every=K|auto) so
+    the whole suite can run under a swept budget without code changes. *)
 
 val unbounded : t
 (** [default] with no memory budget: for semantics-only tests. *)

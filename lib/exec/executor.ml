@@ -75,6 +75,7 @@ type state = {
   stats : Stats.t;
   trace : Trace.ctx option;
   faults : Faults.t option;
+  ckpt : Checkpoint.t option;
   mem : Memory.t;
   env : env;
 }
@@ -97,7 +98,9 @@ let trace_rows_in st rsets =
       ()
 
 (* Recovery cost is charged to both the flat counters and the innermost
-   span, so the span tree accounts recomputed bytes exactly. *)
+   span, so the span tree accounts recomputed bytes exactly. The extra
+   simulated time is also booked as [recovery_seconds], the slice of
+   [sim_seconds] a deadline-bound run is paying for faults. *)
 let charge_recovery st ?(retries = 0) ?(retried = 0) ?(speculative = 0)
     ?(recomputed = 0) ?(dt = 0.) () =
   Stats.add_task_retries st.stats retries;
@@ -105,8 +108,32 @@ let charge_recovery st ?(retries = 0) ?(retried = 0) ?(speculative = 0)
   Stats.add_speculative st.stats speculative;
   Stats.add_recomputed st.stats recomputed;
   Stats.add_sim_seconds st.stats dt;
+  Stats.add_recovery_seconds st.stats dt;
   Trace.add st.trace ~retries ~retried ~speculative ~recomputed
-    ~sim_seconds:dt ()
+    ~sim_seconds:dt ~recovery_seconds:dt ()
+
+(* Deadlines are enforced at accounted stage boundaries: a run paying for
+   recovery can overshoot within a stage, but it can never silently start
+   another one — the typed breach is raised before more work is charged,
+   so recompute loops are bounded by construction. *)
+let check_deadline st ~stage =
+  match st.cfg.Config.deadline with
+  | Some deadline when Stats.sim_seconds st.stats > deadline ->
+    raise
+      (Stats.Deadline_exceeded
+         { stage; sim_seconds = Stats.sim_seconds st.stats; deadline })
+  | _ -> ()
+
+(* Charge one checkpoint write: the io time is paid by the stage, and the
+   counters mirror into the innermost span like every other quantity. *)
+let charge_checkpoint st (w : Checkpoint.write) =
+  Stats.add_checkpoint st.stats;
+  Stats.add_checkpoint_bytes st.stats w.Checkpoint.ckpt_bytes;
+  Stats.add_lineage_truncated st.stats w.Checkpoint.truncated;
+  Stats.add_sim_seconds st.stats w.Checkpoint.io_seconds;
+  Trace.add st.trace ~checkpoints:1 ~checkpoint_bytes:w.Checkpoint.ckpt_bytes
+    ~lineage_truncated:w.Checkpoint.truncated
+    ~sim_seconds:w.Checkpoint.io_seconds ()
 
 (* What a stage's operator can stage out to disk when the manager denies
    full residency — its "build side". Everything else must stay resident.
@@ -204,7 +231,7 @@ let account st ~stage ?(spill = Spill_all) (input_bytes : int array list)
   in
   Stats.add_rows st.stats rows;
   Trace.add st.trace ~rows_out:rows ~sim_seconds:dt ();
-  match event with
+  (match event with
   | None -> ()
   | Some (Faults.Fail_task { partition; fails }) ->
     let b = task_cost partition in
@@ -223,8 +250,11 @@ let account st ~stage ?(spill = Spill_all) (input_bytes : int array list)
         ~dt:(float_of_int fails *. t) ()
   | Some (Faults.Lose_worker { worker = w }) ->
     (* lineage re-execution: every partition resident on the dead worker is
-       recomputed on the survivors; they run in parallel, so the slowest
-       lost task bounds the extra time *)
+       recomputed on the survivors, together with the upstream lineage those
+       partitions depend on — everything since the last checkpoint
+       ({!Checkpoint.replay_bytes}; the whole run when there is none). The
+       stage's own lost tasks run in parallel (slowest bounds the time);
+       the upstream replay is spread over the surviving workers. *)
     let lost = ref 0 and bytes = ref 0 and slowest = ref 0 in
     for p = 0 to nparts - 1 do
       if Config.worker_of_partition cfg p = w then begin
@@ -234,8 +264,15 @@ let account st ~stage ?(spill = Spill_all) (input_bytes : int array list)
         if b > !slowest then slowest := b
       end
     done;
-    charge_recovery st ~retries:!lost ~retried:!lost ~recomputed:!bytes
-      ~dt:(float_of_int !slowest *. cfg.Config.cpu_weight) ()
+    let replay = Checkpoint.replay_bytes st.ckpt ~lost:!lost ~parts:nparts in
+    let survivors = max 1 (cfg.Config.workers - 1) in
+    let replay_dt =
+      float_of_int replay *. cfg.Config.cpu_weight /. float_of_int survivors
+    in
+    charge_recovery st ~retries:!lost ~retried:!lost
+      ~recomputed:(!bytes + replay)
+      ~dt:((float_of_int !slowest *. cfg.Config.cpu_weight) +. replay_dt)
+      ()
   | Some (Faults.Straggle { partition; multiplier }) ->
     let b = task_cost partition in
     let t = float_of_int b *. cfg.Config.cpu_weight in
@@ -246,7 +283,14 @@ let account st ~stage ?(spill = Spill_all) (input_bytes : int array list)
       charge_recovery st ~speculative:1 ~recomputed:b
         ~dt:((Float.min multiplier 2. -. 1.) *. t) ()
     else charge_recovery st ~dt:((multiplier -. 1.) *. t) ()
-  | Some (Faults.Fail_fetch _) -> () (* only injected at shuffle sites *)
+  | Some (Faults.Fail_fetch _) -> () (* only injected at shuffle sites *));
+  (* the stage boundary proper: the finished output joins the recovery
+     lineage, and the policy may materialize it, truncating that lineage *)
+  let total_out = Array.fold_left ( + ) 0 out_bytes in
+  (match Checkpoint.on_stage st.ckpt ~out_bytes:total_out with
+  | Some w -> charge_checkpoint st w
+  | None -> ());
+  check_deadline st ~stage
 
 (* ------------------------------------------------------------------ *)
 (* Shuffling *)
@@ -301,6 +345,10 @@ let shuffle st ?(stage = "shuffle") (r : rset) (keys : S.t list) : rset =
       in
       check_residency st ~stage ~worker
         ~spillable:(worker_totals cfg [ received ]);
+      (* shuffle receipts are recovery lineage too: replaying from the last
+         checkpoint would have to re-move them *)
+      Checkpoint.observe st.ckpt ~bytes:!moved;
+      check_deadline st ~stage;
       {
         parts = Array.map (fun l -> Array.of_list (List.rev l)) dest;
         key = Some keys;
@@ -948,25 +996,36 @@ let rset_to_dataset (cols : string list) (r : rset) : Dataset.t =
   in
   { Dataset.parts = Array.map (Array.map to_value) r.parts; key }
 
-(** Execute one plan against named datasets; returns the result dataset. *)
-let run_plan ?(options = default_options) ?trace ?faults ~config ~stats
-    (env : env) (plan : Op.t) : Dataset.t =
+(** Execute one plan against named datasets; returns the result dataset.
+    The checkpoint manager is created here when not supplied, so lineage
+    accrues (and recovery is charged) even under [No_checkpoints]. *)
+let run_plan ?(options = default_options) ?trace ?faults ?checkpoint ~config
+    ~stats (env : env) (plan : Op.t) : Dataset.t =
+  let ckpt =
+    match checkpoint with Some c -> c | None -> Checkpoint.make config
+  in
   let st =
-    { cfg = config; opts = options; stats; trace; faults;
+    { cfg = config; opts = options; stats; trace; faults; ckpt = Some ckpt;
       mem = Memory.create ?faults config; env }
   in
   let r = run st plan in
   rset_to_dataset (Op.columns plan) r
 
 (** Execute a sequence of (name, plan) assignments, extending the
-    environment; returns the final environment. *)
-let run_assignments ?(options = default_options) ?trace ?faults ~config
-    ~stats (env : env) (plans : (string * Op.t) list) : env =
+    environment; returns the final environment. One checkpoint manager
+    spans all assignments: lineage (and therefore recovery cost) is
+    run-wide, not per-assignment. *)
+let run_assignments ?(options = default_options) ?trace ?faults ?checkpoint
+    ~config ~stats (env : env) (plans : (string * Op.t) list) : env =
+  let ckpt =
+    match checkpoint with Some c -> c | None -> Checkpoint.make config
+  in
   List.iter
     (fun (name, plan) ->
       let ds =
         Trace.with_span trace ~op:"Assignment" ~stage:name (fun () ->
-            run_plan ~options ?trace ?faults ~config ~stats env plan)
+            run_plan ~options ?trace ?faults ~checkpoint:ckpt ~config ~stats
+              env plan)
       in
       Hashtbl.replace env name ds)
     plans;

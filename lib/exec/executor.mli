@@ -58,6 +58,7 @@ val run_plan :
   ?options:options ->
   ?trace:Trace.ctx ->
   ?faults:Faults.t ->
+  ?checkpoint:Checkpoint.t ->
   config:Config.t ->
   stats:Stats.t ->
   env ->
@@ -67,18 +68,26 @@ val run_plan :
     appears as one root span per top-level operator in the context. With
     [?faults], the injector is consulted at every compute and shuffle stage
     and injected events are recovered with Spark's semantics (bounded
-    per-task retry, lineage re-execution, speculation); recovery cost shows
-    up in {!Stats} and the trace.
+    per-task retry, lineage re-execution — truncated at the nearest
+    checkpoint — speculation); recovery cost shows up in {!Stats} and the
+    trace. A {!Checkpoint} manager is created from [config] when not
+    supplied, so recovery lineage accrues even under
+    {!Config.No_checkpoints}; pass one explicitly to share lineage across
+    plans ({!run_assignments} does).
     @raise Stats.Worker_out_of_memory when a worker exceeds its (possibly
     squeezed) budget and cannot spill — spilling off, or the stage would
     need more than {!Config.t.max_spill_rounds} build passes.
     @raise Faults.Task_abandoned when an injected task failure exhausts
-    {!Config.t.max_task_attempts}. *)
+    {!Config.t.max_task_attempts}.
+    @raise Stats.Deadline_exceeded at the first stage boundary past
+    {!Config.t.deadline}: a deadline-bound run can never silently keep
+    recomputing. *)
 
 val run_assignments :
   ?options:options ->
   ?trace:Trace.ctx ->
   ?faults:Faults.t ->
+  ?checkpoint:Checkpoint.t ->
   config:Config.t ->
   stats:Stats.t ->
   env ->
@@ -86,4 +95,6 @@ val run_assignments :
   env
 (** Execute (name, plan) assignments in order, extending the environment.
     With [?trace], each assignment is wrapped in an ["Assignment"] span
-    whose stage is the assignment name. [?faults] as in {!run_plan}. *)
+    whose stage is the assignment name. [?faults] as in {!run_plan}. One
+    checkpoint manager spans all assignments, so lineage — and with it
+    recovery cost — is run-wide. *)

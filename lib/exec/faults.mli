@@ -6,14 +6,18 @@
     module turns those misbehaviours into a {e seed-driven schedule of
     injectable events} that {!Executor} consults once per accounted stage,
     and {!Executor} answers with Spark's recovery semantics (bounded
-    per-task retry, lineage re-execution of a lost worker's partitions,
-    speculative duplicates with first-wins dedup).
+    per-task retry, lineage re-execution of a lost worker's partitions —
+    truncated at the nearest {!Checkpoint} — speculative duplicates with
+    first-wins dedup).
 
-    Everything here is deterministic: the victim partition / worker is a
-    pure hash of [(seed, stage index)], so the same seed yields the same
-    span tree, the same attempt counts and the same recomputed bytes —
-    which is what lets the differential test suite assert recovery
-    behaviour exactly. *)
+    A {!schedule} holds any number of specs, so a run can face a {e fault
+    storm}: repeated crashes, a crash firing while the recovery of an
+    earlier crash is still being paid for, or mixed
+    crash+fetch+squeeze sequences. Everything stays deterministic: the
+    victim partition / worker is a pure hash of [(seed, stage index, spec
+    index)], so the same seed yields the same span tree, the same attempt
+    counts and the same recomputed bytes — which is what lets the
+    differential test suite assert recovery behaviour exactly. *)
 
 (** The injectable misbehaviours. *)
 type kind =
@@ -45,6 +49,12 @@ type spec = {
   factor : float;  (** memory-budget squeeze factor *)
 }
 
+type schedule = spec list
+(** The faults one run will face, in declaration order. [[]] is a clean
+    run. Specs fire independently (at most one per accounted stage, in
+    declaration order among the eligible); two active {!Mem_squeeze} specs
+    compound multiplicatively. *)
+
 val default_spec : kind -> spec
 (** [stage = 0], [fails = 1], [multiplier = 8.], [factor = 0.5]. *)
 
@@ -57,15 +67,34 @@ val spec_of_string : string -> (spec, string) result
 val spec_to_string : spec -> string
 (** Canonical round-trippable form of {!spec_of_string}. *)
 
+val schedule_of_string : string -> (schedule, string) result
+(** ['+']-separated specs: ["crash:stage=2+task:stage=4,fails=2"]. Rejects
+    the empty string — an absent schedule is [[]], not [""]. *)
+
+val schedule_to_string : schedule -> string
+(** Canonical round-trippable form of {!schedule_of_string}. *)
+
+val storm :
+  ?seed:int ->
+  ?kinds:kind list ->
+  ?first_stage:int ->
+  ?span:int ->
+  int ->
+  schedule
+(** [storm n] generates a deterministic [n]-fault schedule: kinds cycled
+    from [kinds] (default: crashes only), stages hashed from [seed] into
+    [\[first_stage; first_stage + span)], sorted chronologically. The same
+    arguments always yield the same storm. *)
+
 (** {2 Runtime injector} *)
 
 type t
-(** One run's injector: the spec plus a stage counter and fired/squeeze
-    state. Create a fresh one per run. *)
+(** One run's injector: the schedule plus a stage counter and per-spec
+    fired / squeeze state. Create a fresh one per run. *)
 
-val make : ?seed:int -> spec -> t
+val make : ?seed:int -> schedule -> t
 
-val spec : t -> spec
+val schedule : t -> schedule
 
 (** Where a stage is accounted: fetch failures only make sense where data
     is fetched. *)
@@ -91,13 +120,16 @@ exception
 val on_stage :
   t option -> site:site -> partitions:int -> workers:int -> event option
 (** Advance the stage counter and return the event injected at this stage,
-    if any. A single spec fires exactly once, at the first {e eligible}
-    site whose index reaches [spec.stage] (a fetch failure waits for a
-    shuffle; the others wait for a compute stage). [None] injector is a
-    no-op returning [None]. *)
+    if any. Each spec fires exactly once, at the first {e eligible} stage
+    whose index reaches [spec.stage] (a fetch failure waits for a shuffle;
+    the others wait for a compute stage); at most one spec fires per stage,
+    so a two-crash storm pays for the second crash while the first one's
+    recovery is still in the books. [None] injector is a no-op returning
+    [None]. *)
 
 val effective_mem : t option -> int -> int
-(** The worker memory budget after an active {!Mem_squeeze} (identity
-    before the squeeze stage and for every other fault kind). Safe for
-    budgets near [max_int] ({!Config.unbounded}): the result is always in
+(** The worker memory budget after the active {!Mem_squeeze} specs
+    (identity before any squeeze stage and for every other fault kind);
+    concurrent squeezes compound multiplicatively. Safe for budgets near
+    [max_int] ({!Config.unbounded}): the result is always in
     [\[1; budget\]], never a float-overflow artefact. *)

@@ -16,6 +16,10 @@ type t = {
   mutable spilled_bytes : int;
   mutable spill_partitions : int;
   mutable spill_rounds : int;
+  mutable checkpoints_written : int;
+  mutable checkpoint_bytes : int;
+  mutable lineage_truncated : int;
+  mutable recovery_seconds : float;
 }
 
 type snapshot = {
@@ -32,6 +36,10 @@ type snapshot = {
   spilled_bytes : int;
   spill_partitions : int;
   spill_rounds : int;
+  checkpoints_written : int;
+  checkpoint_bytes : int;
+  lineage_truncated : int;
+  recovery_seconds : float;
 }
 
 exception
@@ -39,6 +47,13 @@ exception
     stage : string;
     worker_bytes : int;
     budget : int;
+  }
+
+exception
+  Deadline_exceeded of {
+    stage : string;
+    sim_seconds : float;
+    deadline : float;
   }
 
 let create () : t =
@@ -56,6 +71,10 @@ let create () : t =
     spilled_bytes = 0;
     spill_partitions = 0;
     spill_rounds = 0;
+    checkpoints_written = 0;
+    checkpoint_bytes = 0;
+    lineage_truncated = 0;
+    recovery_seconds = 0.;
   }
 
 let shuffled_bytes (s : t) = s.shuffled_bytes
@@ -71,6 +90,10 @@ let recomputed_bytes (s : t) = s.recomputed_bytes
 let spilled_bytes (s : t) = s.spilled_bytes
 let spill_partitions (s : t) = s.spill_partitions
 let spill_rounds (s : t) = s.spill_rounds
+let checkpoints_written (s : t) = s.checkpoints_written
+let checkpoint_bytes (s : t) = s.checkpoint_bytes
+let lineage_truncated (s : t) = s.lineage_truncated
+let recovery_seconds (s : t) = s.recovery_seconds
 let add_shuffled (s : t) n = s.shuffled_bytes <- s.shuffled_bytes + n
 let add_broadcast (s : t) n = s.broadcast_bytes <- s.broadcast_bytes + n
 let add_rows (s : t) n = s.rows_processed <- s.rows_processed + n
@@ -89,6 +112,16 @@ let add_spill_partitions (s : t) n =
   s.spill_partitions <- s.spill_partitions + n
 
 let add_spill_rounds (s : t) n = s.spill_rounds <- s.spill_rounds + n
+let add_checkpoint (s : t) = s.checkpoints_written <- s.checkpoints_written + 1
+
+let add_checkpoint_bytes (s : t) n =
+  s.checkpoint_bytes <- s.checkpoint_bytes + n
+
+let add_lineage_truncated (s : t) n =
+  s.lineage_truncated <- s.lineage_truncated + n
+
+let add_recovery_seconds (s : t) dt =
+  s.recovery_seconds <- s.recovery_seconds +. dt
 
 let observe_worker (s : t) bytes =
   s.peak_worker_bytes <- max s.peak_worker_bytes bytes
@@ -108,6 +141,10 @@ let snapshot (s : t) : snapshot =
     spilled_bytes = s.spilled_bytes;
     spill_partitions = s.spill_partitions;
     spill_rounds = s.spill_rounds;
+    checkpoints_written = s.checkpoints_written;
+    checkpoint_bytes = s.checkpoint_bytes;
+    lineage_truncated = s.lineage_truncated;
+    recovery_seconds = s.recovery_seconds;
   }
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
@@ -125,6 +162,10 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     spilled_bytes = a.spilled_bytes - b.spilled_bytes;
     spill_partitions = a.spill_partitions - b.spill_partitions;
     spill_rounds = a.spill_rounds - b.spill_rounds;
+    checkpoints_written = a.checkpoints_written - b.checkpoints_written;
+    checkpoint_bytes = a.checkpoint_bytes - b.checkpoint_bytes;
+    lineage_truncated = a.lineage_truncated - b.lineage_truncated;
+    recovery_seconds = a.recovery_seconds -. b.recovery_seconds;
   }
 
 let merge (a : snapshot) (b : snapshot) : snapshot =
@@ -142,6 +183,10 @@ let merge (a : snapshot) (b : snapshot) : snapshot =
     spilled_bytes = a.spilled_bytes + b.spilled_bytes;
     spill_partitions = a.spill_partitions + b.spill_partitions;
     spill_rounds = a.spill_rounds + b.spill_rounds;
+    checkpoints_written = a.checkpoints_written + b.checkpoints_written;
+    checkpoint_bytes = a.checkpoint_bytes + b.checkpoint_bytes;
+    lineage_truncated = a.lineage_truncated + b.lineage_truncated;
+    recovery_seconds = a.recovery_seconds +. b.recovery_seconds;
   }
 
 let zero : snapshot =
@@ -159,6 +204,10 @@ let zero : snapshot =
     spilled_bytes = 0;
     spill_partitions = 0;
     spill_rounds = 0;
+    checkpoints_written = 0;
+    checkpoint_bytes = 0;
+    lineage_truncated = 0;
+    recovery_seconds = 0.;
   }
 
 let pp_snapshot ppf (s : snapshot) =
@@ -177,6 +226,12 @@ let pp_snapshot ppf (s : snapshot) =
   if s.spilled_bytes > 0 || s.spill_rounds > 0 then
     Fmt.pf ppf " spilled=%.1fKB spill_parts=%d spill_rounds=%d"
       (float_of_int s.spilled_bytes /. 1024.)
-      s.spill_partitions s.spill_rounds
+      s.spill_partitions s.spill_rounds;
+  if s.checkpoints_written > 0 || s.recovery_seconds > 0. then
+    Fmt.pf ppf " ckpts=%d ckptKB=%.1f trunc=%.1fKB recovery=%.2fs"
+      s.checkpoints_written
+      (float_of_int s.checkpoint_bytes /. 1024.)
+      (float_of_int s.lineage_truncated /. 1024.)
+      s.recovery_seconds
 
 let pp ppf (s : t) = pp_snapshot ppf (snapshot s)

@@ -26,6 +26,12 @@ type snapshot = {
   spilled_bytes : int;  (** bytes written to simulated disk by spilling stages *)
   spill_partitions : int;  (** on-disk build partitions created while spilling *)
   spill_rounds : int;  (** extra build passes executed by spilling stages *)
+  checkpoints_written : int;  (** stage outputs materialized to stable storage *)
+  checkpoint_bytes : int;  (** bytes materialized (one replica's worth) *)
+  lineage_truncated : int;  (** lineage bytes checkpoints made unreplayable *)
+  recovery_seconds : float;
+      (** simulated seconds spent paying for fault recovery: retries,
+          speculation, lineage replay — a slice of [sim_seconds] *)
 }
 
 exception
@@ -37,6 +43,17 @@ exception
 (** A worker exceeded its memory budget: the paper's FAIL entries. Callers
     that must not fail hard catch this ({!Trance.Api.run} reports it as a
     failed run). *)
+
+exception
+  Deadline_exceeded of {
+    stage : string;  (** the stage boundary where the breach was detected *)
+    sim_seconds : float;  (** simulated seconds elapsed at that point *)
+    deadline : float;  (** the configured {!Config.t.deadline} *)
+  }
+(** The run blew its simulated-seconds budget — typically while paying for
+    recovery under a fault storm. Raised at stage boundaries so a run can
+    never silently hang in a recompute loop; {!Trance.Api.run} reports it
+    as a typed failed run naming the deadline. *)
 
 val create : unit -> t
 
@@ -55,6 +72,10 @@ val recomputed_bytes : t -> int
 val spilled_bytes : t -> int
 val spill_partitions : t -> int
 val spill_rounds : t -> int
+val checkpoints_written : t -> int
+val checkpoint_bytes : t -> int
+val lineage_truncated : t -> int
+val recovery_seconds : t -> float
 
 (** {2 Recording (executor side)} *)
 
@@ -70,6 +91,10 @@ val add_recomputed : t -> int -> unit
 val add_spilled : t -> int -> unit
 val add_spill_partitions : t -> int -> unit
 val add_spill_rounds : t -> int -> unit
+val add_checkpoint : t -> unit
+val add_checkpoint_bytes : t -> int -> unit
+val add_lineage_truncated : t -> int -> unit
+val add_recovery_seconds : t -> float -> unit
 
 val observe_worker : t -> int -> unit
 (** Raise the peak per-worker residency high-water mark. *)

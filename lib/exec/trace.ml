@@ -30,6 +30,10 @@ type metrics = {
   spilled_bytes : int;
   spill_partitions : int;
   spill_rounds : int;
+  checkpoints_written : int;
+  checkpoint_bytes : int;
+  lineage_truncated : int;
+  recovery_seconds : float;
 }
 
 let zero_metrics =
@@ -51,6 +55,10 @@ let zero_metrics =
     spilled_bytes = 0;
     spill_partitions = 0;
     spill_rounds = 0;
+    checkpoints_written = 0;
+    checkpoint_bytes = 0;
+    lineage_truncated = 0;
+    recovery_seconds = 0.;
   }
 
 let merge_metrics a b =
@@ -72,6 +80,10 @@ let merge_metrics a b =
     spilled_bytes = a.spilled_bytes + b.spilled_bytes;
     spill_partitions = a.spill_partitions + b.spill_partitions;
     spill_rounds = a.spill_rounds + b.spill_rounds;
+    checkpoints_written = a.checkpoints_written + b.checkpoints_written;
+    checkpoint_bytes = a.checkpoint_bytes + b.checkpoint_bytes;
+    lineage_truncated = a.lineage_truncated + b.lineage_truncated;
+    recovery_seconds = a.recovery_seconds +. b.recovery_seconds;
   }
 
 let mean_partition_bytes m =
@@ -180,7 +192,8 @@ let set_strategy octx s =
 let add octx ?(shuffled = 0) ?(broadcast = 0) ?(rows_in = 0) ?(rows_out = 0)
     ?(stages = 0) ?(sim_seconds = 0.) ?(retries = 0) ?(retried = 0)
     ?(speculative = 0) ?(recomputed = 0) ?(spilled = 0) ?(spill_partitions = 0)
-    ?(spill_rounds = 0) () =
+    ?(spill_rounds = 0) ?(checkpoints = 0) ?(checkpoint_bytes = 0)
+    ?(lineage_truncated = 0) ?(recovery_seconds = 0.) () =
   on_top octx (fun n ->
       n.nm <-
         {
@@ -198,6 +211,10 @@ let add octx ?(shuffled = 0) ?(broadcast = 0) ?(rows_in = 0) ?(rows_out = 0)
           spilled_bytes = n.nm.spilled_bytes + spilled;
           spill_partitions = n.nm.spill_partitions + spill_partitions;
           spill_rounds = n.nm.spill_rounds + spill_rounds;
+          checkpoints_written = n.nm.checkpoints_written + checkpoints;
+          checkpoint_bytes = n.nm.checkpoint_bytes + checkpoint_bytes;
+          lineage_truncated = n.nm.lineage_truncated + lineage_truncated;
+          recovery_seconds = n.nm.recovery_seconds +. recovery_seconds;
         })
 
 let observe_partitions octx (bytes : int array) =
@@ -238,7 +255,11 @@ let pp_metrics ppf m =
       m.speculative_tasks pp_bytes m.recomputed_bytes;
   if m.spilled_bytes > 0 || m.spill_rounds > 0 then
     Fmt.pf ppf " spilled=%a spill_parts=%d spill_rounds=%d" pp_bytes
-      m.spilled_bytes m.spill_partitions m.spill_rounds
+      m.spilled_bytes m.spill_partitions m.spill_rounds;
+  if m.checkpoints_written > 0 || m.recovery_seconds > 0. then
+    Fmt.pf ppf " ckpts=%d ckpt=%a trunc=%a recovery=%.4fs"
+      m.checkpoints_written pp_bytes m.checkpoint_bytes pp_bytes
+      m.lineage_truncated m.recovery_seconds
 
 let pp_tree ppf sp =
   let rec go indent sp =
@@ -276,7 +297,7 @@ let json_float f =
 let buffer_metrics b m =
   Buffer.add_string b
     (Printf.sprintf
-       "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"rows_in\":%d,\"rows_out\":%d,\"stages\":%d,\"max_partition_bytes\":%d,\"mean_partition_bytes\":%s,\"peak_worker_bytes\":%d,\"load_imbalance\":%s,\"sim_seconds\":%s,\"task_retries\":%d,\"retried_tasks\":%d,\"speculative_tasks\":%d,\"recomputed_bytes\":%d,\"spilled_bytes\":%d,\"spill_partitions\":%d,\"spill_rounds\":%d}"
+       "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"rows_in\":%d,\"rows_out\":%d,\"stages\":%d,\"max_partition_bytes\":%d,\"mean_partition_bytes\":%s,\"peak_worker_bytes\":%d,\"load_imbalance\":%s,\"sim_seconds\":%s,\"task_retries\":%d,\"retried_tasks\":%d,\"speculative_tasks\":%d,\"recomputed_bytes\":%d,\"spilled_bytes\":%d,\"spill_partitions\":%d,\"spill_rounds\":%d,\"checkpoints_written\":%d,\"checkpoint_bytes\":%d,\"lineage_truncated\":%d,\"recovery_seconds\":%s}"
        m.shuffled_bytes m.broadcast_bytes m.rows_in m.rows_out m.stages
        m.max_partition_bytes
        (json_float (mean_partition_bytes m))
@@ -284,7 +305,9 @@ let buffer_metrics b m =
        (json_float (load_imbalance m))
        (json_float m.sim_seconds)
        m.task_retries m.retried_tasks m.speculative_tasks m.recomputed_bytes
-       m.spilled_bytes m.spill_partitions m.spill_rounds)
+       m.spilled_bytes m.spill_partitions m.spill_rounds
+       m.checkpoints_written m.checkpoint_bytes m.lineage_truncated
+       (json_float m.recovery_seconds))
 
 let rec buffer_json b sp =
   Buffer.add_string b (Printf.sprintf "{\"id\":%d,\"op\":\"" sp.id);

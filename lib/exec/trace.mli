@@ -51,6 +51,10 @@ type metrics = {
   spilled_bytes : int;  (** bytes written to simulated disk while spilling *)
   spill_partitions : int;  (** on-disk build partitions created *)
   spill_rounds : int;  (** extra build passes executed by spilling stages *)
+  checkpoints_written : int;  (** stage outputs materialized to stable storage *)
+  checkpoint_bytes : int;  (** bytes materialized (one replica's worth) *)
+  lineage_truncated : int;  (** lineage bytes checkpoints made unreplayable *)
+  recovery_seconds : float;  (** simulated seconds spent paying for recovery *)
 }
 
 val zero_metrics : metrics
@@ -123,6 +127,10 @@ val add :
   ?spilled:int ->
   ?spill_partitions:int ->
   ?spill_rounds:int ->
+  ?checkpoints:int ->
+  ?checkpoint_bytes:int ->
+  ?lineage_truncated:int ->
+  ?recovery_seconds:float ->
   unit ->
   unit
 (** Charge counters to the innermost open span. *)

@@ -1,0 +1,196 @@
+(** Direct unit tests for the partitioner underneath the executor:
+    round-robin placement of freshly loaded bags, the hash co-location
+    guarantee of [of_bag_by], the multiset round-trip through [to_bag],
+    and the byte / row accounting the cost model and the memory manager
+    both read. These invariants are what the shuffle-elision and recovery
+    layers silently rely on. *)
+
+module V = Nrc.Value
+module D = Exec.Dataset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let count default =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let row k v =
+  V.Tuple [ ("k", V.Int k); ("v", V.Str (Printf.sprintf "row-%d" v)) ]
+
+let bag n = V.Bag (List.init n (fun i -> row (i mod 5) i))
+
+(* ------------------------------------------------------------------ *)
+(* Round-robin *)
+
+(* of_bag places element i in partition [i mod partitions] — Spark's block
+   distribution of freshly loaded data — and never claims a guarantee *)
+let test_round_robin_placement () =
+  let n = 23 and partitions = 4 in
+  let d = D.of_bag ~partitions (bag n) in
+  check_int "partition count" partitions (D.partition_count d);
+  check "no partitioning guarantee" true (d.D.key = None);
+  Array.iteri
+    (fun p part ->
+      Array.iter
+        (fun item ->
+          match V.field item "v" with
+          | V.Str s ->
+            let i = Scanf.sscanf s "row-%d" (fun i -> i) in
+            check_int (Printf.sprintf "element %d lands in %d mod %d" i i partitions)
+              (i mod partitions) p
+          | _ -> Alcotest.fail "unexpected row shape")
+        part)
+    d.D.parts;
+  check_int "rows preserved" n (D.total_rows d)
+
+(* round-robin balance: partition sizes differ by at most one *)
+let test_round_robin_balance () =
+  List.iter
+    (fun (n, partitions) ->
+      let d = D.of_bag ~partitions (bag n) in
+      let sizes = Array.map Array.length d.D.parts in
+      let mn = Array.fold_left min max_int sizes in
+      let mx = Array.fold_left max 0 sizes in
+      check (Printf.sprintf "n=%d p=%d balanced" n partitions) true
+        (mx - mn <= 1))
+    [ (0, 3); (1, 3); (7, 3); (24, 8); (100, 7) ]
+
+(* ------------------------------------------------------------------ *)
+(* Hash partitioning *)
+
+(* of_bag_by's guarantee: equal keys share a partition, and the recorded
+   key paths are exactly the ones hashed *)
+let test_hash_colocation () =
+  let partitions = 5 in
+  let d = D.of_bag_by ~partitions ~key:[ [ "k" ] ] (bag 40) in
+  check "guarantee recorded" true (d.D.key = Some [ [ "k" ] ]);
+  let home = Hashtbl.create 8 in
+  Array.iteri
+    (fun p part ->
+      Array.iter
+        (fun item ->
+          let k = V.field item "k" in
+          match Hashtbl.find_opt home k with
+          | None -> Hashtbl.add home k p
+          | Some p' ->
+            check (Fmt.str "key %a co-located" V.pp k) true (p = p'))
+        part)
+    d.D.parts;
+  check_int "rows preserved" 40 (D.total_rows d)
+
+let gen_rows : V.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_bound 60 in
+  let* keys = list_size (return n) (int_bound 7) in
+  return (V.Bag (List.mapi (fun i k -> row k i) keys))
+
+let arbitrary_case =
+  QCheck.make
+    ~print:(fun (v, p) -> Fmt.str "partitions=%d@ %a" p V.pp v)
+    QCheck.Gen.(pair gen_rows (int_range 1 9))
+
+let prop_colocation =
+  QCheck.Test.make
+    ~name:"of_bag_by: equal keys always share a partition, rows preserved"
+    ~count:(count 200) arbitrary_case (fun (v, partitions) ->
+      let d = D.of_bag_by ~partitions ~key:[ [ "k" ] ] v in
+      let home = Hashtbl.create 8 in
+      let ok = ref true in
+      Array.iteri
+        (fun p part ->
+          Array.iter
+            (fun item ->
+              let k = V.field item "k" in
+              match Hashtbl.find_opt home k with
+              | None -> Hashtbl.add home k p
+              | Some p' -> if p <> p' then ok := false)
+            part)
+        d.D.parts;
+      !ok
+      && D.total_rows d = List.length (V.bag_items v)
+      && V.approx_bag_equal (D.to_bag d) v)
+
+(* ------------------------------------------------------------------ *)
+(* Multiset round-trip and accounting *)
+
+let prop_roundtrip =
+  QCheck.Test.make
+    ~name:"of_bag / to_bag: multiset round-trip at any partition count"
+    ~count:(count 200) arbitrary_case (fun (v, partitions) ->
+      let d = D.of_bag ~partitions v in
+      V.approx_bag_equal (D.to_bag d) v
+      && D.total_rows d = List.length (V.bag_items v))
+
+(* total_bytes = sum of part_bytes = sum of element byte_size: the single
+   quantity the cost model, the memory manager and the checkpoint write
+   cost all read *)
+let test_byte_accounting () =
+  let v = bag 31 in
+  let d = D.of_bag ~partitions:4 v in
+  let per_part = D.part_bytes d in
+  check_int "partition array length" 4 (Array.length per_part);
+  check_int "total = sum of parts"
+    (Array.fold_left ( + ) 0 per_part)
+    (D.total_bytes d);
+  let expected =
+    List.fold_left (fun acc it -> acc + V.byte_size it) 0 (V.bag_items v)
+  in
+  check_int "total = sum of element sizes" expected (D.total_bytes d)
+
+let test_empty () =
+  let d = D.empty ~partitions:6 in
+  check_int "partitions" 6 (D.partition_count d);
+  check_int "no rows" 0 (D.total_rows d);
+  check_int "no bytes" 0 (D.total_bytes d);
+  check "empty bag" true (D.to_bag d = V.Bag [])
+
+(* map transforms every element and drops the guarantee (the transform may
+   rewrite the key fields) *)
+let test_map_drops_guarantee () =
+  let d = D.of_bag_by ~partitions:3 ~key:[ [ "k" ] ] (bag 12) in
+  let d' = D.map (fun v -> V.Tuple [ ("x", v) ]) d in
+  check "guarantee dropped" true (d'.D.key = None);
+  check_int "rows preserved" (D.total_rows d) (D.total_rows d')
+
+(* worker_of_partition is the round-robin placement the crash injector
+   uses to decide which partitions die with a worker *)
+let test_worker_of_partition () =
+  let cfg = { Exec.Config.unbounded with workers = 3; partitions = 7 } in
+  List.iter
+    (fun p ->
+      check_int (Printf.sprintf "partition %d" p) (p mod 3)
+        (Exec.Config.worker_of_partition cfg p))
+    [ 0; 1; 2; 3; 4; 5; 6 ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "dataset"
+    [
+      ( "round-robin",
+        [
+          Alcotest.test_case "placement is i mod partitions" `Quick
+            test_round_robin_placement;
+          Alcotest.test_case "sizes differ by at most one" `Quick
+            test_round_robin_balance;
+        ] );
+      ( "hash partitioning",
+        [
+          Alcotest.test_case "equal keys co-located, guarantee recorded"
+            `Quick test_hash_colocation;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_colocation ] );
+      ( "round-trip and accounting",
+        [
+          Alcotest.test_case "bytes add up across partitions" `Quick
+            test_byte_accounting;
+          Alcotest.test_case "empty dataset" `Quick test_empty;
+          Alcotest.test_case "map drops the guarantee" `Quick
+            test_map_drops_guarantee;
+          Alcotest.test_case "worker_of_partition is round-robin" `Quick
+            test_worker_of_partition;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_roundtrip ] );
+    ]

@@ -60,6 +60,92 @@ let test_spec_parsing () =
     [ "meteor"; "task:stage=-1"; "task:fails=0"; "straggler:mult=0.5";
       "memsqueeze:factor=2"; "crash:bogus=1" ]
 
+let test_schedule_parsing () =
+  let ok s =
+    match F.schedule_of_string s with Ok sch -> sch | Error m -> failwith m
+  in
+  let sch = ok "crash:stage=2+task:stage=4,fails=2" in
+  check_int "two specs" 2 (List.length sch);
+  check "first is the crash" true
+    ((List.nth sch 0).F.kind = F.Worker_crash
+    && (List.nth sch 0).F.stage = 2);
+  check "second is the task failure" true
+    ((List.nth sch 1).F.kind = F.Task_failure
+    && (List.nth sch 1).F.fails = 2);
+  check "single spec is a one-element schedule" true
+    (ok "crash:stage=2" = [ Result.get_ok (F.spec_of_string "crash:stage=2") ]);
+  (* canonical form round-trips *)
+  List.iter
+    (fun s ->
+      check ("round-trip " ^ s) true
+        (ok (F.schedule_to_string (ok s)) = ok s))
+    [ "crash:stage=2+task:stage=4,fails=2";
+      "crash:stage=1+crash:stage=2+crash:stage=3";
+      "memsqueeze:stage=0,factor=0.5+fetch:stage=3,fails=2" ];
+  (* rejections: empty string, empty component, bad component *)
+  List.iter
+    (fun s ->
+      check ("reject " ^ String.escaped s) true
+        (Result.is_error (F.schedule_of_string s)))
+    [ ""; "crash:stage=2+"; "+crash:stage=2"; "crash:stage=2+meteor" ]
+
+(* the storm generator is a pure function of its arguments *)
+let test_storm_deterministic () =
+  let a = F.storm ~seed:7 ~first_stage:2 ~span:6 4 in
+  let b = F.storm ~seed:7 ~first_stage:2 ~span:6 4 in
+  check "same arguments, same storm" true (a = b);
+  check_int "storm size" 4 (List.length a);
+  List.iter
+    (fun sp ->
+      check "stage within the window" true
+        (sp.F.stage >= 2 && sp.F.stage < 8))
+    a;
+  check "chronological" true
+    (List.sort (fun x y -> compare x.F.stage y.F.stage) a = a);
+  let c = F.storm ~seed:8 ~first_stage:2 ~span:6 4 in
+  check "different seed, different storm" true (a <> c);
+  (* storms round-trip through the CLI syntax like any schedule *)
+  check "storm round-trips" true
+    (F.schedule_of_string (F.schedule_to_string a) = Ok a)
+
+(* print/parse round-trip as properties: every generated spec and every
+   generated schedule survives to_string/of_string bit-for-bit, including
+   the ['+'] schedule syntax *)
+let gen_roundtrip_spec : F.spec QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* kind =
+    oneofl
+      [ F.Worker_crash; F.Task_failure; F.Fetch_failure; F.Straggler;
+        F.Mem_squeeze ]
+  in
+  let* stage = int_bound 9 in
+  let* fails = int_range 1 9 in
+  let* multiplier = map float_of_int (int_range 2 12) in
+  let* factor = oneofl [ 0.125; 0.25; 0.5; 0.75 ] in
+  return { (F.default_spec kind) with F.stage; fails; multiplier; factor }
+
+let arbitrary_roundtrip_spec =
+  QCheck.make ~print:F.spec_to_string gen_roundtrip_spec
+
+let arbitrary_roundtrip_schedule =
+  QCheck.make ~print:F.schedule_to_string
+    QCheck.Gen.(list_size (int_range 1 6) gen_roundtrip_spec)
+
+let prop_spec_roundtrip =
+  QCheck.Test.make ~name:"spec syntax: parse (print spec) = spec"
+    ~count:(count 500) arbitrary_roundtrip_spec (fun sp ->
+      match F.spec_of_string (F.spec_to_string sp) with
+      | Ok sp' -> F.spec_to_string sp' = F.spec_to_string sp
+      | Error _ -> false)
+
+let prop_schedule_roundtrip =
+  QCheck.Test.make
+    ~name:"schedule syntax: parse (print schedule) = schedule"
+    ~count:(count 500) arbitrary_roundtrip_schedule (fun sch ->
+      match F.schedule_of_string (F.schedule_to_string sch) with
+      | Ok sch' -> F.schedule_to_string sch' = F.schedule_to_string sch
+      | Error _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* The differential campaign: corpus x strategy x fault x stage *)
 
@@ -125,7 +211,7 @@ let campaign_tests =
               in
               Alcotest.test_case what `Quick (fun () ->
                   let reference = Fixtures.eval_ref q in
-                  let r = run_fault ~config ~spec:(Some spec) strategy q in
+                  let r = run_fault ~config ~spec:[ spec ] strategy q in
                   (match r.Trance.Api.failure with
                   | None ->
                     (* recovered: the answer is the reference answer *)
@@ -135,14 +221,15 @@ let campaign_tests =
                         (V.approx_bag_equal reference v)
                     | None -> Alcotest.fail (what ^ ": no value, no failure"))
                   | Some (Trance.Api.Task_failed _)
-                  | Some (Trance.Api.Out_of_memory _) ->
+                  | Some (Trance.Api.Out_of_memory _)
+                  | Some (Trance.Api.Deadline_missed _) ->
                     () (* typed failure: acceptable, never a wrong answer *)
                   | Some (Trance.Api.Error m) ->
                     Alcotest.fail (what ^ ": untyped failure " ^ m));
                   check_attempt_bounds what spec r;
                   check_recovery_totals what r;
                   (* same seed => identical span tree and counters *)
-                  let r2 = run_fault ~config ~spec:(Some spec) strategy q in
+                  let r2 = run_fault ~config ~spec:[ spec ] strategy q in
                   check (what ^ ": deterministic span tree") true
                     (Trace.spans_json r.Trance.Api.trace
                     = Trace.spans_json r2.Trance.Api.trace);
@@ -177,14 +264,14 @@ let ladder_tests =
                       spill = Exec.Config.On };
                   route_fallback = false }
               in
-              let clean = run_fault ~config:(spill_on max_int) ~spec:None strategy q in
+              let clean = run_fault ~config:(spill_on max_int) ~spec:[] strategy q in
               check (what ^ ": unbounded run succeeds") true
                 (clean.Trance.Api.failure = None);
               let peak = Exec.Stats.peak_worker_bytes clean.Trance.Api.stats in
               List.iter
                 (fun budget ->
                   let rung = Printf.sprintf "%s mem=%d" what budget in
-                  let r = run_fault ~config:(spill_on budget) ~spec:None strategy q in
+                  let r = run_fault ~config:(spill_on budget) ~spec:[] strategy q in
                   check (rung ^ ": completes or degrades, never fails") true
                     (r.Trance.Api.failure = None);
                   (match r.Trance.Api.value with
@@ -197,7 +284,7 @@ let ladder_tests =
                     (Exec.Stats.spilled_bytes r.Trance.Api.stats > 0
                     = (peak > budget));
                   check_recovery_totals rung r;
-                  let r2 = run_fault ~config:(spill_on budget) ~spec:None strategy q in
+                  let r2 = run_fault ~config:(spill_on budget) ~spec:[] strategy q in
                   check (rung ^ ": deterministic replay") true
                     (Trace.spans_json r.Trance.Api.trace
                      = Trace.spans_json r2.Trance.Api.trace
@@ -214,7 +301,7 @@ let ladder_tests =
    wasted attempts still accounted *)
 let test_task_exhaustion () =
   let spec = { (F.default_spec F.Task_failure) with F.fails = 99 } in
-  let r = run_fault ~spec:(Some spec) Trance.Api.Standard Fixtures.example1 in
+  let r = run_fault ~spec:[ spec ] Trance.Api.Standard Fixtures.example1 in
   (match r.Trance.Api.failure with
   | Some (Trance.Api.Task_failed { attempts; _ }) ->
     check_int "abandoned after the full attempt budget"
@@ -234,7 +321,7 @@ let test_task_exhaustion () =
    partition of the dead worker and the answer is unchanged *)
 let test_crash_recovers () =
   let spec = F.default_spec F.Worker_crash in
-  let r = run_fault ~spec:(Some spec) Trance.Api.Standard Fixtures.example1 in
+  let r = run_fault ~spec:[ spec ] Trance.Api.Standard Fixtures.example1 in
   check "no failure" true (r.Trance.Api.failure = None);
   check "lost partitions were retried" true
     (Exec.Stats.task_retries r.Trance.Api.stats > 0);
@@ -248,13 +335,13 @@ let test_crash_recovers () =
    the stage just waits the full multiplier out *)
 let test_straggler_speculation () =
   let spec = { (F.default_spec F.Straggler) with F.multiplier = 8. } in
-  let with_spec = run_fault ~spec:(Some spec) Trance.Api.Standard Fixtures.example1 in
+  let with_spec = run_fault ~spec:[ spec ] Trance.Api.Standard Fixtures.example1 in
   let no_spec_config =
     { api_config with
       Trance.Api.cluster = { cluster with speculation = false } }
   in
   let without =
-    run_fault ~config:no_spec_config ~spec:(Some spec) Trance.Api.Standard
+    run_fault ~config:no_spec_config ~spec:[ spec ] Trance.Api.Standard
       Fixtures.example1
   in
   check_int "speculative duplicate launched" 1
@@ -272,7 +359,7 @@ let test_straggler_speculation () =
 (* a transient fetch failure re-fetches at a shuffle site and recovers *)
 let test_fetch_recovers () =
   let spec = { (F.default_spec F.Fetch_failure) with F.fails = 2 } in
-  let r = run_fault ~spec:(Some spec) Trance.Api.Standard Fixtures.example1 in
+  let r = run_fault ~spec:[ spec ] Trance.Api.Standard Fixtures.example1 in
   check "no failure" true (r.Trance.Api.failure = None);
   check_int "both re-fetch attempts counted" 2
     (Exec.Stats.task_retries r.Trance.Api.stats);
@@ -283,7 +370,7 @@ let test_fetch_recovers () =
    surfaces as the typed OOM failure, with the squeezed (not the
    configured) budget reported *)
 let test_memsqueeze_typed_oom () =
-  let clean = run_fault ~spec:None Trance.Api.Standard Fixtures.example1 in
+  let clean = run_fault ~spec:[] Trance.Api.Standard Fixtures.example1 in
   let peak = Exec.Stats.peak_worker_bytes clean.Trance.Api.stats in
   check "clean run has a positive peak" true (peak > 0);
   let budget = 2 * peak in
@@ -293,10 +380,10 @@ let test_memsqueeze_typed_oom () =
         { cluster with worker_mem = budget; spill = Exec.Config.Off };
       route_fallback = false }
   in
-  let ok = run_fault ~config ~spec:None Trance.Api.Standard Fixtures.example1 in
+  let ok = run_fault ~config ~spec:[] Trance.Api.Standard Fixtures.example1 in
   check "budget fits without the squeeze" true (ok.Trance.Api.failure = None);
   let spec = { (F.default_spec F.Mem_squeeze) with F.factor = 0.25 } in
-  let r = run_fault ~config ~spec:(Some spec) Trance.Api.Standard Fixtures.example1 in
+  let r = run_fault ~config ~spec:[ spec ] Trance.Api.Standard Fixtures.example1 in
   match r.Trance.Api.failure with
   | Some (Trance.Api.Out_of_memory { budget = squeezed; _ }) ->
     check "squeezed budget reported" true (squeezed < budget);
@@ -310,7 +397,7 @@ let test_memsqueeze_typed_oom () =
 (* the same squeeze with spilling on degrades instead of failing: the
    squeezed stages spill their build sides and the answer is unchanged *)
 let test_memsqueeze_spills () =
-  let clean = run_fault ~spec:None Trance.Api.Standard Fixtures.example1 in
+  let clean = run_fault ~spec:[] Trance.Api.Standard Fixtures.example1 in
   let peak = Exec.Stats.peak_worker_bytes clean.Trance.Api.stats in
   let budget = 2 * peak in
   let config =
@@ -320,7 +407,7 @@ let test_memsqueeze_spills () =
       route_fallback = false }
   in
   let spec = { (F.default_spec F.Mem_squeeze) with F.factor = 0.25 } in
-  let r = run_fault ~config ~spec:(Some spec) Trance.Api.Standard Fixtures.example1 in
+  let r = run_fault ~config ~spec:[ spec ] Trance.Api.Standard Fixtures.example1 in
   check "squeeze recovers by spilling" true (r.Trance.Api.failure = None);
   check "outcome is Degraded" true (Trance.Api.outcome r = Trance.Api.Degraded);
   check "spilled bytes accounted" true
@@ -339,7 +426,7 @@ let test_memsqueeze_spills () =
    squeeze's float round-trip — never a negative or garbage budget *)
 let test_effective_mem_unbounded () =
   let active factor =
-    let t = F.make { (F.default_spec F.Mem_squeeze) with F.factor = factor } in
+    let t = F.make [ { (F.default_spec F.Mem_squeeze) with F.factor = factor } ] in
     ignore (F.on_stage (Some t) ~site:F.Compute ~partitions:4 ~workers:2);
     t
   in
@@ -354,14 +441,31 @@ let test_effective_mem_unbounded () =
     (F.effective_mem (Some (active 0.5)) 1_000_000);
   check_int "inactive squeeze is the identity" max_int
     (F.effective_mem
-       (Some (F.make { (F.default_spec F.Mem_squeeze) with F.stage = 5 }))
+       (Some (F.make [ { (F.default_spec F.Mem_squeeze) with F.stage = 5 } ]))
        max_int)
+
+(* a storm fires every spec: a two-crash schedule retries more tasks than
+   either single crash alone, and still recovers to the reference answer *)
+let test_storm_fires_all () =
+  let crash stage = { (F.default_spec F.Worker_crash) with F.stage } in
+  let one = run_fault ~spec:[ crash 1 ] Trance.Api.Standard Fixtures.example1 in
+  let two =
+    run_fault ~spec:[ crash 1; crash 2 ] Trance.Api.Standard Fixtures.example1
+  in
+  check "storm recovers" true (two.Trance.Api.failure = None);
+  check "second crash pays additional retries" true
+    (Exec.Stats.task_retries two.Trance.Api.stats
+    > Exec.Stats.task_retries one.Trance.Api.stats);
+  let reference = Fixtures.eval_ref Fixtures.example1 in
+  check "storm answer unchanged" true
+    (V.approx_bag_equal reference (Option.get two.Trance.Api.value));
+  check_recovery_totals "storm" two
 
 (* a clean run is byte-identical to itself: the baseline the injected
    determinism checks rest on *)
 let test_clean_deterministic () =
-  let a = run_fault ~spec:None Trance.Api.Standard Fixtures.example1 in
-  let b = run_fault ~spec:None Trance.Api.Standard Fixtures.example1 in
+  let a = run_fault ~spec:[] Trance.Api.Standard Fixtures.example1 in
+  let b = run_fault ~spec:[] Trance.Api.Standard Fixtures.example1 in
   check "span trees identical" true
     (Trace.spans_json a.Trance.Api.trace = Trace.spans_json b.Trance.Api.trace);
   check "counters identical" true
@@ -395,7 +499,7 @@ let arbitrary_fault_case =
 let run_random ~spec q inputs =
   let prog = Nrc.Program.of_expr ~inputs:Qgen.inputs_ty ~name:"Q" q in
   Trance.Api.run
-    ~config:{ api_config with Trance.Api.faults = Some spec }
+    ~config:{ api_config with Trance.Api.faults = [ spec ] }
     ~strategy:Trance.Api.Standard prog inputs
 
 let prop_fault_never_wrong =
@@ -414,7 +518,8 @@ let prop_fault_never_wrong =
       | None, None -> false
       | Some (Trance.Api.Task_failed _ | Trance.Api.Out_of_memory _), _ ->
         true
-      | Some (Trance.Api.Error _), _ -> false)
+      (* no deadline is configured, so a Deadline_missed here is a bug *)
+      | Some (Trance.Api.Deadline_missed _ | Trance.Api.Error _), _ -> false)
 
 (* random query x random budget: the spilling layer itself (no fallback)
    always completes with the reference answer, and spills exactly when the
@@ -471,8 +576,16 @@ let () =
   Alcotest.run "faults"
     [
       ( "spec parsing",
-        [ Alcotest.test_case "parse / round-trip / reject" `Quick
-            test_spec_parsing ] );
+        [
+          Alcotest.test_case "parse / round-trip / reject" `Quick
+            test_spec_parsing;
+          Alcotest.test_case "schedule parse / round-trip / reject" `Quick
+            test_schedule_parsing;
+          Alcotest.test_case "storm generator is deterministic" `Quick
+            test_storm_deterministic;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_spec_roundtrip; prop_schedule_roundtrip ] );
       ("corpus campaign", campaign_tests);
       ("memory ladder", ladder_tests);
       ( "recovery semantics",
@@ -491,6 +604,8 @@ let () =
             test_memsqueeze_spills;
           Alcotest.test_case "effective_mem survives unbounded budgets"
             `Quick test_effective_mem_unbounded;
+          Alcotest.test_case "two-crash storm fires both crashes" `Quick
+            test_storm_fires_all;
           Alcotest.test_case "clean runs are deterministic" `Quick
             test_clean_deterministic;
         ] );

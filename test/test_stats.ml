@@ -32,6 +32,10 @@ let gen_snapshot : S.snapshot QCheck.Gen.t =
   let* spilled_bytes = small in
   let* spill_partitions = int_bound 50 in
   let* spill_rounds = int_bound 20 in
+  let* checkpoints_written = int_bound 20 in
+  let* checkpoint_bytes = small in
+  let* lineage_truncated = small in
+  let* recovery_seconds = map float_of_int (int_bound 100) in
   return
     {
       S.shuffled_bytes;
@@ -47,6 +51,10 @@ let gen_snapshot : S.snapshot QCheck.Gen.t =
       spilled_bytes;
       spill_partitions;
       spill_rounds;
+      checkpoints_written;
+      checkpoint_bytes;
+      lineage_truncated;
+      recovery_seconds;
     }
 
 let arbitrary_snapshot =
