@@ -19,6 +19,9 @@
     - [memory]: graceful degradation under memory pressure — a shrinking
       per-worker budget ladder showing the in-memory / spilling /
       route-fallback crossover per strategy;
+    - [scale]: multicore scaling — wall-clock seconds vs [--domains] 1/2/4/8
+      on both routes while every simulated counter stays bit-identical,
+      written to BENCH_parallel.json;
     - [micro]: Bechamel micro-benchmarks of core primitives.
 
     Absolute numbers are simulator output; the paper-vs-measured *shape*
@@ -78,17 +81,18 @@ let api_run ~label ~(config : Trance.Api.config) ~strategy prog inputs =
 (* Row printing *)
 
 let header () =
-  Printf.printf "%-18s %-5s %-16s %9s %10s %10s %9s  %s\n" "family" "level"
-    "strategy" "sim(s)" "shuffleMB" "bcastMB" "peakMB" "status";
-  Printf.printf "%s\n" (String.make 94 '-')
+  Printf.printf "%-18s %-5s %-16s %9s %9s %10s %10s %9s  %s\n" "family" "level"
+    "strategy" "sim(s)" "wall(s)" "shuffleMB" "bcastMB" "peakMB" "status";
+  Printf.printf "%s\n" (String.make 104 '-')
 
 let mb b = float_of_int b /. 1048576.
 
 let row ~family ~level ~(r : Trance.Api.run) =
   let s = r.Trance.Api.stats in
-  Printf.printf "%-18s %-5s %-16s %9.3f %10.2f %10.2f %9.2f  %s\n" family level
-    r.Trance.Api.strategy
+  Printf.printf "%-18s %-5s %-16s %9.3f %9.3f %10.2f %10.2f %9.2f  %s\n" family
+    level r.Trance.Api.strategy
     (Exec.Stats.sim_seconds s)
+    r.Trance.Api.wall_seconds
     (mb (Exec.Stats.shuffled_bytes s))
     (mb (Exec.Stats.broadcast_bytes s))
     (mb (Exec.Stats.peak_worker_bytes s))
@@ -662,6 +666,97 @@ let memory () =
     [ 1.25; 0.5; 0.25; 1. /. 16.; 1. /. 64. ]
 
 (* ------------------------------------------------------------------ *)
+(* Domain scaling: sweep --domains over both routes and show wall-clock
+   speedup while every simulated counter stays bit-identical (the parallel
+   executor's contract: domains are a pure speed knob). Also written to
+   BENCH_parallel.json for the CI artifact. *)
+
+let scale_domains () =
+  Printf.printf
+    "\n\
+     === Domain scaling: wall seconds vs --domains (sim counters \
+     bit-identical) ===\n";
+  let cells =
+    [
+      ("n-to-n/L2", Tpch.Queries.Nested_to_nested, 2, tpch_scale ());
+      ("f-to-n/L4", Tpch.Queries.Flat_to_nested, 4, tpch_scale ());
+      ( "n-to-n/L4-large",
+        Tpch.Queries.Nested_to_nested,
+        4,
+        { (tpch_scale ()) with customers = sc 1200 } );
+    ]
+  in
+  let strategies =
+    [ Trance.Api.Standard; Trance.Api.Shredded { unshred = true } ]
+  in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf '[';
+  let first = ref true in
+  Printf.printf "%-18s %-16s %7s %9s %9s %8s %6s\n" "cell" "strategy" "domains"
+    "wall(s)" "sim(s)" "speedup" "sim=";
+  Printf.printf "%s\n" (String.make 82 '-');
+  List.iter
+    (fun (cname, family, level, scale) ->
+      let db = Tpch.Generator.generate scale in
+      let prog = Tpch.Queries.program ~wide:false ~family ~level () in
+      let inputs = Tpch.Queries.input_values ~wide:false ~family ~level db in
+      List.iter
+        (fun strategy ->
+          let base = base_config ~default_mem:10000. () in
+          (* wall and stripped counters at domains=1: the speedup
+             denominator and the bit-identity reference *)
+          let baseline = ref None in
+          List.iter
+            (fun domains ->
+              let config =
+                { base with
+                  Trance.Api.cluster =
+                    { base.Trance.Api.cluster with Exec.Config.domains } }
+              in
+              let label =
+                Printf.sprintf "%s/%s/d%d" cname
+                  (Trance.Api.strategy_name strategy)
+                  domains
+              in
+              let r = api_run ~label ~config ~strategy prog inputs in
+              let wall = r.Trance.Api.wall_seconds in
+              let snap =
+                Exec.Stats.strip_wall (Exec.Stats.snapshot r.Trance.Api.stats)
+              in
+              let speedup, identical =
+                match !baseline with
+                | None ->
+                  baseline := Some (wall, snap);
+                  (1.0, true)
+                | Some (w1, s1) ->
+                  ((if wall > 0. then w1 /. wall else 0.), s1 = snap)
+              in
+              Printf.printf "%-18s %-16s %7d %9.3f %9.3f %7.2fx %6s\n" cname
+                r.Trance.Api.strategy domains wall
+                (Exec.Stats.sim_seconds r.Trance.Api.stats)
+                speedup
+                (if identical then "yes" else "NO");
+              if not !first then Buffer.add_char buf ',';
+              first := false;
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "{\"cell\":\"%s\",\"strategy\":\"%s\",\"domains\":%d,\"wall_seconds\":%.6f,\"sim_seconds\":%.6f,\"speedup\":%.4f,\"sim_identical\":%b}"
+                   cname r.Trance.Api.strategy domains wall
+                   (Exec.Stats.sim_seconds r.Trance.Api.stats)
+                   speedup identical))
+            domain_counts)
+        strategies)
+    cells;
+  Buffer.add_string buf "]\n";
+  (match open_out "BENCH_parallel.json" with
+  | exception Sys_error msg -> Fmt.epr "cannot write BENCH_parallel.json: %s@." msg
+  | oc ->
+    Buffer.output_buffer oc buf;
+    close_out oc;
+    Printf.printf "\nwrote BENCH_parallel.json\n")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
 
 let micro () =
@@ -733,6 +828,7 @@ let all_targets =
     ("faults", faults_sweep);
     ("recovery", recovery_sweep);
     ("memory", memory);
+    ("scale", scale_domains);
     ("micro", micro);
   ]
 
@@ -798,7 +894,7 @@ let targets_arg =
         ~doc:
           "Benchmark targets to run, in order (default: all). Available: \
            fig7_narrow, fig7_wide, fig8_skew, fig9_biomed, ablate, scaling, \
-           cost_model, faults, recovery, memory, micro.")
+           cost_model, faults, recovery, memory, scale, micro.")
 
 let main scale mem json ts =
   scale_factor := scale;

@@ -160,9 +160,21 @@ let no_fallback_arg =
            exhausts worker memory fails instead of re-planning down the \
            shredded route.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int Exec.Config.default.Exec.Config.domains
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Run partition tasks on N OCaml domains (default honours \
+           TRANCE_DOMAINS, else 1 = sequential). A pure speed knob: any N \
+           produces bit-identical results, stats, traces, fault victims and \
+           checkpoint bytes — only wall_seconds changes.")
+
 let api_config ~mem ~skew_aware ?(spill = Exec.Config.default.Exec.Config.spill)
     ?(no_fallback = false) ?(trace = false) ?(faults = [])
-    ?(checkpoint = Exec.Config.default.Exec.Config.checkpoint) ?deadline () =
+    ?(checkpoint = Exec.Config.default.Exec.Config.checkpoint) ?deadline
+    ?(domains = Exec.Config.default.Exec.Config.domains) () =
   { Trance.Api.default_config with
     skew_aware;
     trace;
@@ -173,7 +185,8 @@ let api_config ~mem ~skew_aware ?(spill = Exec.Config.default.Exec.Config.spill)
         worker_mem = int_of_float (mem *. 1048576.);
         spill;
         checkpoint;
-        deadline };
+        deadline;
+        domains };
     optimizer =
       { Plan.Optimize.default with unique_keys = [ ("Part", [ "pkey" ]) ] } }
 
@@ -292,13 +305,14 @@ let print_outcome (r : Trance.Api.run) =
   | Trance.Api.Completed | Trance.Api.Failed -> ()
 
 let run_cell family level wide skew customers strategy skew_aware mem spill
-    no_fallback trace json inject checkpoint deadline =
+    no_fallback trace json inject checkpoint deadline domains =
   let db = make_db ~customers ~skew in
   let prog = Tpch.Queries.program ~wide ~family ~level () in
   let inputs = Tpch.Queries.input_values ~wide ~family ~level db in
   let config =
     api_config ~mem ~skew_aware ~spill ~no_fallback
-      ~trace:(trace || json <> None) ~faults:inject ~checkpoint ?deadline ()
+      ~trace:(trace || json <> None) ~faults:inject ~checkpoint ?deadline
+      ~domains ()
   in
   let r = Trance.Api.run ~config ~strategy prog inputs in
   Fmt.pr "%a@." Trance.Api.pp_run r;
@@ -326,7 +340,8 @@ let run_cmd =
     Term.(
       const run_cell $ family_arg $ level_arg $ wide_arg $ skew_arg $ scale_arg
       $ strategy_arg $ skew_aware_arg $ mem_arg $ spill_arg $ no_fallback_arg
-      $ trace_arg $ json_arg $ inject_arg $ checkpoint_arg $ deadline_arg)
+      $ trace_arg $ json_arg $ inject_arg $ checkpoint_arg $ deadline_arg
+      $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* biomed: the E2E pipeline *)
@@ -335,7 +350,7 @@ let small_arg =
   Arg.(value & flag & info [ "small" ] ~doc:"Use the small dataset variant.")
 
 let run_biomed strategy skew_aware mem spill no_fallback small trace json
-    inject checkpoint deadline =
+    inject checkpoint deadline domains =
   let scale =
     if small then Biomed.Generator.small_scale else Biomed.Generator.full_scale
   in
@@ -343,7 +358,8 @@ let run_biomed strategy skew_aware mem spill no_fallback small trace json
   let inputs = Biomed.Generator.inputs db in
   let config =
     api_config ~mem ~skew_aware ~spill ~no_fallback
-      ~trace:(trace || json <> None) ~faults:inject ~checkpoint ?deadline ()
+      ~trace:(trace || json <> None) ~faults:inject ~checkpoint ?deadline
+      ~domains ()
   in
   let r = Trance.Api.run ~config ~strategy Biomed.Pipeline.program inputs in
   Fmt.pr "%a@." Trance.Api.pp_run r;
@@ -363,7 +379,7 @@ let biomed_cmd =
     Term.(
       const run_biomed $ strategy_arg $ skew_aware_arg $ mem_arg $ spill_arg
       $ no_fallback_arg $ small_arg $ trace_arg $ json_arg $ inject_arg
-      $ checkpoint_arg $ deadline_arg)
+      $ checkpoint_arg $ deadline_arg $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* query: parse and run a textual NRC query against generated TPC-H data *)

@@ -199,19 +199,30 @@ let reports_of (acc : step_acc) : step_report list =
       })
     acc
 
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
 (* run assignments one at a time, slicing the stats (and trace) per step;
-   one checkpoint manager spans all of them so recovery lineage is
-   run-wide *)
-let run_steps ~options ~config ~stats ~trace ~faults ~checkpoint ~targets
-    ~steps_out env plans =
+   one pool and one checkpoint manager span all of them so domains are
+   spawned once and recovery lineage is run-wide. Each assignment span is
+   charged its real wall-clock alongside the simulated counters. *)
+let run_steps ~options ~config ~stats ~trace ~faults ~checkpoint ~pool
+    ~targets ~steps_out env plans =
   List.iter
     (fun (name, plan) ->
       let before = Exec.Stats.snapshot stats in
       let ds =
         try
           Exec.Trace.with_span trace ~op:"Assignment" ~stage:name (fun () ->
-              Exec.Executor.run_plan ~options ?trace ?faults ~checkpoint
-                ~config ~stats env plan)
+              let ds, awall =
+                timed (fun () ->
+                    Exec.Executor.run_plan ~options ?trace ?faults ~checkpoint
+                      ~pool ~config ~stats env plan)
+              in
+              Exec.Trace.add trace ~wall_seconds:awall ();
+              ds)
         with
         (* attribute the failure to its source step; the partially filled
            step slice is still recorded for the failure report *)
@@ -262,7 +273,7 @@ let pp_run ppf r =
    so downstream diffing of run_json never sees keys come and go. *)
 let snapshot_json (s : Exec.Stats.snapshot) =
   Printf.sprintf
-    "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"peak_worker_bytes\":%d,\"rows_processed\":%d,\"stages\":%d,\"sim_seconds\":%.6g,\"task_retries\":%d,\"retried_tasks\":%d,\"speculative_tasks\":%d,\"recomputed_bytes\":%d,\"spilled_bytes\":%d,\"spill_partitions\":%d,\"spill_rounds\":%d,\"checkpoints_written\":%d,\"checkpoint_bytes\":%d,\"lineage_truncated\":%d,\"recovery_seconds\":%.6g}"
+    "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"peak_worker_bytes\":%d,\"rows_processed\":%d,\"stages\":%d,\"sim_seconds\":%.6g,\"task_retries\":%d,\"retried_tasks\":%d,\"speculative_tasks\":%d,\"recomputed_bytes\":%d,\"spilled_bytes\":%d,\"spill_partitions\":%d,\"spill_rounds\":%d,\"checkpoints_written\":%d,\"checkpoint_bytes\":%d,\"lineage_truncated\":%d,\"recovery_seconds\":%.6g,\"wall_seconds\":%.6g}"
     s.Exec.Stats.shuffled_bytes s.Exec.Stats.broadcast_bytes
     s.Exec.Stats.peak_worker_bytes s.Exec.Stats.rows_processed
     s.Exec.Stats.stages s.Exec.Stats.sim_seconds s.Exec.Stats.task_retries
@@ -271,6 +282,7 @@ let snapshot_json (s : Exec.Stats.snapshot) =
     s.Exec.Stats.spill_partitions s.Exec.Stats.spill_rounds
     s.Exec.Stats.checkpoints_written s.Exec.Stats.checkpoint_bytes
     s.Exec.Stats.lineage_truncated s.Exec.Stats.recovery_seconds
+    s.Exec.Stats.wall_seconds
 
 (* The effective configuration, embedded in run_json so an exported run is
    self-describing and replayable from the JSON alone. [worker_mem] is -1
@@ -279,7 +291,7 @@ let config_json b (c : config) =
   let cl = c.cluster in
   Buffer.add_string b
     (Printf.sprintf
-       "{\"workers\":%d,\"partitions\":%d,\"worker_mem\":%d,\"broadcast_limit\":%d,\"seed\":%d,\"max_task_attempts\":%d,\"speculation\":%b,\"spill\":\"%s\",\"max_spill_rounds\":%d,\"checkpoint\":\"%s\",\"checkpoint_replication\":%d,\"fault_rate\":%.6g,\"deadline\":%s,\"skew_aware\":%b,\"cogroup\":%b,\"collect\":%b,\"trace\":%b,\"route_fallback\":%b,\"faults\":"
+       "{\"workers\":%d,\"partitions\":%d,\"worker_mem\":%d,\"broadcast_limit\":%d,\"seed\":%d,\"max_task_attempts\":%d,\"speculation\":%b,\"spill\":\"%s\",\"max_spill_rounds\":%d,\"checkpoint\":\"%s\",\"checkpoint_replication\":%d,\"fault_rate\":%.6g,\"deadline\":%s,\"domains\":%d,\"skew_aware\":%b,\"cogroup\":%b,\"collect\":%b,\"trace\":%b,\"route_fallback\":%b,\"faults\":"
        cl.Exec.Config.workers cl.Exec.Config.partitions
        (if cl.Exec.Config.worker_mem = max_int then -1
         else cl.Exec.Config.worker_mem)
@@ -292,7 +304,8 @@ let config_json b (c : config) =
        (match cl.Exec.Config.deadline with
        | None -> "null"
        | Some d -> Printf.sprintf "%.6g" d)
-       c.skew_aware c.cogroup c.collect c.trace c.route_fallback);
+       cl.Exec.Config.domains c.skew_aware c.cogroup c.collect c.trace
+       c.route_fallback);
   (match c.faults with
   | [] -> Buffer.add_string b "null"
   | sch ->
@@ -483,11 +496,6 @@ let load_shredded_inputs ~cluster (types : (string * T.t) list)
     shredded;
   env
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
-
 let catch_oom f =
   match f () with
   | v -> (Some v, None)
@@ -541,6 +549,9 @@ let run_once ~(config : config) ~(strategy : strategy) (p : Nrc.Program.t)
   in
   let run_config = config in
   let finish ~strategy ~value ~wall ~failure ~steps_out =
+    (* wall-clock lands in Stats here, once, from the driver's real clock:
+       the executor's own accounting stays deterministic *)
+    Exec.Stats.add_wall_seconds stats wall;
     let s = Exec.Stats.snapshot stats in
     let degradation =
       if s.Exec.Stats.spilled_bytes > 0 && failure = None then
@@ -572,14 +583,18 @@ let run_once ~(config : config) ~(strategy : strategy) (p : Nrc.Program.t)
     let plans = compile_standard ~config p in
     let env = load_inputs ~cluster p.Nrc.Program.inputs input_values in
     let steps_out = ref [] in
+    (* the pool is spawned once per run, outside the timed region, so
+       wall_seconds measures execution rather than domain startup *)
     let outcome, wall =
-      timed (fun () ->
-          catch_oom (fun () ->
-              run_steps ~options:exec_options ~config:cluster ~stats ~trace
-                ~faults ~checkpoint ~targets ~steps_out env plans;
-              if config.collect then
-                Some (Exec.Dataset.to_bag (Hashtbl.find env result_name))
-              else None))
+      Exec.Pool.with_pool ~domains:cluster.Exec.Config.domains (fun pool ->
+          timed (fun () ->
+              catch_oom (fun () ->
+                  run_steps ~options:exec_options ~config:cluster ~stats
+                    ~trace ~faults ~checkpoint ~pool ~targets ~steps_out env
+                    plans;
+                  if config.collect then
+                    Some (Exec.Dataset.to_bag (Hashtbl.find env result_name))
+                  else None)))
     in
     let result, failure = outcome in
     let value = Option.join result in
@@ -589,27 +604,38 @@ let run_once ~(config : config) ~(strategy : strategy) (p : Nrc.Program.t)
     let env = load_shredded_inputs ~cluster p.Nrc.Program.inputs input_values in
     let steps_out = ref [] in
     let outcome, wall =
-      timed (fun () ->
-          catch_oom (fun () ->
-              run_steps ~options:exec_options ~config:cluster ~stats ~trace
-                ~faults ~checkpoint ~targets ~steps_out env compiled.plans;
-              match unshred, compiled.unshred_plan with
-              | true, Some uplan ->
-                let before = Exec.Stats.snapshot stats in
-                let ds =
-                  Exec.Trace.with_span trace ~op:"Assignment" ~stage:"Unshred"
-                    (fun () ->
-                      Exec.Executor.run_plan ~options:exec_options ?trace
-                        ?faults ~checkpoint ~config:cluster ~stats env uplan)
-                in
-                record_step ~stats ~trace ~before ~step:"Unshred" steps_out;
-                if config.collect then Some (Exec.Dataset.to_bag ds) else None
-              | _ ->
-                if config.collect then
-                  Some
-                    (Exec.Dataset.to_bag
-                       (Hashtbl.find env compiled.pipeline.Shred_pipeline.top))
-                else None))
+      Exec.Pool.with_pool ~domains:cluster.Exec.Config.domains (fun pool ->
+          timed (fun () ->
+              catch_oom (fun () ->
+                  run_steps ~options:exec_options ~config:cluster ~stats
+                    ~trace ~faults ~checkpoint ~pool ~targets ~steps_out env
+                    compiled.plans;
+                  match unshred, compiled.unshred_plan with
+                  | true, Some uplan ->
+                    let before = Exec.Stats.snapshot stats in
+                    let ds =
+                      Exec.Trace.with_span trace ~op:"Assignment"
+                        ~stage:"Unshred" (fun () ->
+                          let ds, awall =
+                            timed (fun () ->
+                                Exec.Executor.run_plan ~options:exec_options
+                                  ?trace ?faults ~checkpoint ~pool
+                                  ~config:cluster ~stats env uplan)
+                          in
+                          Exec.Trace.add trace ~wall_seconds:awall ();
+                          ds)
+                    in
+                    record_step ~stats ~trace ~before ~step:"Unshred"
+                      steps_out;
+                    if config.collect then Some (Exec.Dataset.to_bag ds)
+                    else None
+                  | _ ->
+                    if config.collect then
+                      Some
+                        (Exec.Dataset.to_bag
+                           (Hashtbl.find env
+                              compiled.pipeline.Shred_pipeline.top))
+                    else None)))
     in
     let result, failure = outcome in
     let value = Option.join result in

@@ -102,7 +102,11 @@ type run = {
   config : config;  (** the effective configuration the run executed under *)
   value : Nrc.Value.t option;  (** None when not collected or failed *)
   stats : Exec.Stats.t;
+      (** run totals; [Stats.wall_seconds] mirrors {!run.wall_seconds}
+          (the answering attempt's wall-clock, charged by this driver) *)
   wall_seconds : float;
+      (** real elapsed seconds; shrinks with {!Exec.Config.t.domains}
+          while [sim_seconds] and every other counter stay bit-identical *)
   failure : failure option;
   steps : step_report list;  (** one report per source step, in run order *)
   trace : Exec.Trace.span list;

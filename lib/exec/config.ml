@@ -30,6 +30,7 @@ type t = {
   checkpoint_replication : int; (* copies written per checkpoint (HDFS: 3) *)
   fault_rate : float; (* expected faults per stage, drives Auto placement *)
   deadline : float option; (* simulated-seconds budget for the whole run *)
+  domains : int; (* OCaml domains running partition tasks (1 = sequential) *)
 }
 
 let spill_of_string = function
@@ -63,7 +64,9 @@ let checkpoint_name = function
    through the environment so the tier-1 suite runs unchanged under each
    cell; tests that pin [worker_mem] or [spill] explicitly are unaffected.
    TRANCE_WORKER_MEM is MB or "unbounded"; TRANCE_SPILL is on|off;
-   TRANCE_CHECKPOINT is off|every=K|auto. *)
+   TRANCE_CHECKPOINT is off|every=K|auto; TRANCE_DOMAINS is a domain
+   count >= 1 (parallel runs are bit-identical to sequential ones, so the
+   whole suite doubles as an equivalence campaign under the hook). *)
 let default =
   let base =
     {
@@ -85,7 +88,16 @@ let default =
       checkpoint_replication = 3;
       fault_rate = 0.05;
       deadline = None;
+      domains = 1;
     }
+  in
+  let base =
+    match Sys.getenv_opt "TRANCE_DOMAINS" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> { base with domains = n }
+        | _ -> base)
+    | None -> base
   in
   let base =
     match Sys.getenv_opt "TRANCE_WORKER_MEM" with

@@ -58,6 +58,11 @@ type t = {
       (** simulated-seconds budget for a whole run: a run that exceeds it
           (typically while paying for recovery) fails typed
           ({!Stats.Deadline_exceeded}) instead of recomputing unboundedly *)
+  domains : int;
+      (** OCaml domains the {!Pool} runs partition tasks on (including the
+          calling one); 1 = today's sequential path. Parallel runs are
+          bit-identical to sequential ones in everything but wall-clock
+          time, so this is purely a speed knob. *)
 }
 
 val spill_of_string : string -> (spill, string) result
@@ -71,8 +76,9 @@ val checkpoint_name : checkpoint -> string
 
 val default : t
 (** Honours the CI matrix hooks [TRANCE_WORKER_MEM] (MB, or ["unbounded"]),
-    [TRANCE_SPILL] (on|off) and [TRANCE_CHECKPOINT] (off|every=K|auto) so
-    the whole suite can run under a swept budget without code changes. *)
+    [TRANCE_SPILL] (on|off), [TRANCE_CHECKPOINT] (off|every=K|auto) and
+    [TRANCE_DOMAINS] (domain count >= 1) so the whole suite can run under
+    a swept budget — or on many cores — without code changes. *)
 
 val unbounded : t
 (** [default] with no memory budget: for semantics-only tests. *)

@@ -48,14 +48,26 @@ let env_of_list l : env =
   List.iter (fun (n, d) -> Hashtbl.replace h n d) l;
   h
 
-(* hash over evaluated key tuples, shared by shuffling and heavy-key sets *)
+(* Hash over evaluated key tuples, shared by shuffling and heavy-key sets.
+   [land max_int], not [abs]: [abs min_int = min_int], whose [mod n] is
+   negative and would index [dest.(p)] out of bounds in [shuffle]. *)
 let hash_key (kv : V.t list) =
-  abs (List.fold_left (fun acc v -> (acc * 31) + V.hash v) 17 kv)
+  List.fold_left (fun acc v -> (acc * 31) + V.hash v) 17 kv land max_int
 
 module KeyTbl = Hashtbl.Make (struct
   type t = V.t list
 
-  let equal a b = List.length a = List.length b && List.for_all2 V.equal a b
+  (* single pass over both lists: this runs once per probed row on the
+     join hot path, so no [List.length] pre-walks *)
+  let equal a b =
+    let rec go a b =
+      match a, b with
+      | [], [] -> true
+      | x :: a, y :: b -> V.equal x y && go a b
+      | _, _ -> false
+    in
+    go a b
+
   let hash = hash_key
 end)
 
@@ -78,7 +90,17 @@ type state = {
   ckpt : Checkpoint.t option;
   mem : Memory.t;
   env : env;
+  pool : Pool.t; (* partition tasks run here; accounting stays outside *)
 }
+
+(* Partition-wise evaluation goes through the pool. The task closures must
+   not touch [st.stats]/[st.trace]/[st.mem]/[st.faults]: every hot loop
+   below computes pure per-partition results (plus, for the shuffle, a
+   per-task accounting delta merged in partition order), and all shared
+   accounting happens on the calling domain after the barrier — which is
+   what makes a [domains = N] run bit-identical to [domains = 1]. *)
+let pool_map st f parts = Pool.map st.pool (fun _ part -> f part) parts
+let pool_mapi st f parts = Pool.map st.pool f parts
 
 (* ------------------------------------------------------------------ *)
 (* Accounting *)
@@ -305,26 +327,46 @@ let shuffle st ?(stage = "shuffle") (r : rset) (keys : S.t list) : rset =
   Trace.with_span st.trace ~op:"Shuffle" ~stage (fun () ->
       let cfg = st.cfg in
       let n = cfg.Config.partitions in
-      let dest = Array.make n [] in
-      let received = Array.make n 0 in
-      let moved = ref 0 in
-      Array.iter
-        (fun part ->
-          Array.iter
-            (fun row ->
-              let p = hash_key (eval_keys row keys) mod n in
-              dest.(p) <- row :: dest.(p);
-              let b = Row.byte_size row in
-              moved := !moved + b;
-              received.(p) <- received.(p) + b)
-            part)
-        r.parts;
-      Stats.add_shuffled st.stats !moved;
+      (* each task builds the destination lists for one *input* partition
+         (reversed, as pushed); the merge below concatenates them in input
+         partition order, which reproduces the sequential row order
+         exactly. Byte counters travel as per-task deltas. *)
+      let dests, (moved, received) =
+        Pool.map_parts st.pool
+          ~zero:(0, Array.make n 0)
+          ~merge:(fun (m1, r1) (m2, r2) -> (m1 + m2, Array.map2 ( + ) r1 r2))
+          (fun _ part ->
+            let dest = Array.make n [] in
+            let received = Array.make n 0 in
+            let moved = ref 0 in
+            Array.iter
+              (fun row ->
+                let p = hash_key (eval_keys row keys) mod n in
+                dest.(p) <- row :: dest.(p);
+                let b = Row.byte_size row in
+                moved := !moved + b;
+                received.(p) <- received.(p) + b)
+              part;
+            (dest, (!moved, received)))
+          r.parts
+      in
+      let ntasks = Array.length dests in
+      let dest =
+        Array.init n (fun q ->
+            let acc = ref [] in
+            (* reversed per-task lists un-reverse as they are prepended;
+               descending task order keeps earlier partitions first *)
+            for p = ntasks - 1 downto 0 do
+              acc := List.rev_append dests.(p).(q) !acc
+            done;
+            Array.of_list !acc)
+      in
+      Stats.add_shuffled st.stats moved;
       Stats.add_stage st.stats;
       let max_recv = Array.fold_left max 0 received in
       let dt = float_of_int max_recv *. cfg.Config.net_weight in
       Stats.add_sim_seconds st.stats dt;
-      Trace.add st.trace ~shuffled:!moved ~stages:1 ~sim_seconds:dt ();
+      Trace.add st.trace ~shuffled:moved ~stages:1 ~sim_seconds:dt ();
       Trace.observe_partitions st.trace received;
       (* a shuffle is a fetch-site stage: a transient fetch failure makes
          one destination partition re-fetch its inputs [fails] times *)
@@ -347,13 +389,9 @@ let shuffle st ?(stage = "shuffle") (r : rset) (keys : S.t list) : rset =
         ~spillable:(worker_totals cfg [ received ]);
       (* shuffle receipts are recovery lineage too: replaying from the last
          checkpoint would have to re-move them *)
-      Checkpoint.observe st.ckpt ~bytes:!moved;
+      Checkpoint.observe st.ckpt ~bytes:moved;
       check_deadline st ~stage;
-      {
-        parts = Array.map (fun l -> Array.of_list (List.rev l)) dest;
-        key = Some keys;
-        skew = None;
-      })
+      { parts = dest; key = Some keys; skew = None })
 
 (* shuffle only if the guarantee does not already hold *)
 let ensure_partitioned st ?stage (r : rset) (keys : S.t list) : rset =
@@ -490,7 +528,8 @@ let broadcast_join st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols :
     Array.to_list r.parts |> List.concat_map Array.to_list |> Array.of_list
   in
   let index = index_rows rkey all_right in
-  let out = Array.map (join_partition ~lkey ~kind ~rcols index) l.parts in
+  (* probe tasks share the index read-only, which is safe across domains *)
+  let out = pool_map st (join_partition ~lkey ~kind ~rcols index) l.parts in
   (* the replica is pinned on every worker for the duration of the stage;
      it is also the join's build side, so it can spill (external broadcast
      join) *)
@@ -510,7 +549,7 @@ let shuffle_join st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols :
   let l' = ensure_partitioned st ~stage l lkey in
   let r' = ensure_partitioned st ~stage r rkey in
   let out =
-    Array.mapi
+    pool_mapi st
       (fun p lpart ->
         let index = index_rows rkey r'.parts.(p) in
         join_partition ~lkey ~kind ~rcols index lpart)
@@ -581,7 +620,7 @@ let cogroup st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols ~keys
   let l' = ensure_partitioned st ~stage l lkey in
   let r' = ensure_partitioned st ~stage r rkey in
   let outp =
-    Array.mapi
+    pool_mapi st
       (fun p lpart ->
         let index = index_rows rkey r'.parts.(p) in
         let rows = ref [] in
@@ -630,7 +669,7 @@ let cogroup st ~stage (l : rset) (r : rset) ~lkey ~rkey ~kind ~rcols ~keys
 
 let map_parts st ~stage ?(key = fun k -> k) ?(keep_skew = false) f (r : rset)
     : rset =
-  let out = Array.map f r.parts in
+  let out = pool_map st f r.parts in
   account st ~stage [ part_bytes r.parts ] out;
   { parts = out; key = key r.key; skew = (if keep_skew then r.skew else None) }
 
@@ -720,7 +759,7 @@ and exec (st : state) (op : Op.t) : rset =
       Array.to_list r.parts |> List.concat_map Array.to_list
     in
     let out =
-      Array.map
+      pool_map st
         (fun lpart ->
           Array.of_list
             (List.concat_map
@@ -758,7 +797,7 @@ and exec (st : state) (op : Op.t) : rset =
     incr next_id_base;
     let base = !next_id_base * (1 lsl 50) in
     let out =
-      Array.mapi
+      pool_mapi st
         (fun p part ->
           Array.mapi
             (fun i row -> row @ [ (col, V.Int (base + (p lsl 28) + i)) ])
@@ -788,7 +827,7 @@ and exec (st : state) (op : Op.t) : rset =
       in
       let index = index_rows rkey all_right in
       let outp =
-        Array.map
+        pool_map st
           (fun lpart ->
             let rows = ref [] in
             Array.iter
@@ -847,7 +886,7 @@ and exec (st : state) (op : Op.t) : rset =
       | sk -> ensure_partitioned st ~stage:"nest" r (List.map snd sk)
     in
     let outp =
-      Array.map
+      pool_map st
         (fun part ->
           Array.of_list
             (L.nest_bag_rows ~keys ~agg_keys ~item ~presence ~out
@@ -874,7 +913,7 @@ and exec (st : state) (op : Op.t) : rset =
        partition before shuffling, so Gamma-plus "mitigates skew-effects by
        default by reducing the values of all keys" (Section 5) *)
     let partials =
-      Array.map
+      pool_map st
         (fun part ->
           Array.of_list
             (L.nest_sum_rows ~keys ~agg_keys ~aggs ~presence
@@ -901,7 +940,7 @@ and exec (st : state) (op : Op.t) : rset =
       | sk -> ensure_partitioned st ~stage:"nest_sum" r (List.map snd sk)
     in
     let outp =
-      Array.map
+      pool_map st
         (fun part ->
           Array.of_list
             (L.nest_sum_rows ~keys:keys' ~agg_keys:agg_keys' ~aggs:aggs'
@@ -996,37 +1035,47 @@ let rset_to_dataset (cols : string list) (r : rset) : Dataset.t =
   in
   { Dataset.parts = Array.map (Array.map to_value) r.parts; key }
 
+(* The pool is spawned once per run: callers that execute several plans
+   (the Api driver, run_assignments) pass one in; a bare run_plan call
+   creates a pool sized by [config.domains] and shuts it down on exit. *)
+let with_run_pool ?pool ~(config : Config.t) f =
+  match pool with
+  | Some p -> f p
+  | None -> Pool.with_pool ~domains:config.Config.domains f
+
 (** Execute one plan against named datasets; returns the result dataset.
     The checkpoint manager is created here when not supplied, so lineage
     accrues (and recovery is charged) even under [No_checkpoints]. *)
-let run_plan ?(options = default_options) ?trace ?faults ?checkpoint ~config
-    ~stats (env : env) (plan : Op.t) : Dataset.t =
+let run_plan ?(options = default_options) ?trace ?faults ?checkpoint ?pool
+    ~config ~stats (env : env) (plan : Op.t) : Dataset.t =
   let ckpt =
     match checkpoint with Some c -> c | None -> Checkpoint.make config
   in
-  let st =
-    { cfg = config; opts = options; stats; trace; faults; ckpt = Some ckpt;
-      mem = Memory.create ?faults config; env }
-  in
-  let r = run st plan in
-  rset_to_dataset (Op.columns plan) r
+  with_run_pool ?pool ~config (fun pool ->
+      let st =
+        { cfg = config; opts = options; stats; trace; faults;
+          ckpt = Some ckpt; mem = Memory.create ?faults config; env; pool }
+      in
+      let r = run st plan in
+      rset_to_dataset (Op.columns plan) r)
 
 (** Execute a sequence of (name, plan) assignments, extending the
     environment; returns the final environment. One checkpoint manager
     spans all assignments: lineage (and therefore recovery cost) is
     run-wide, not per-assignment. *)
 let run_assignments ?(options = default_options) ?trace ?faults ?checkpoint
-    ~config ~stats (env : env) (plans : (string * Op.t) list) : env =
+    ?pool ~config ~stats (env : env) (plans : (string * Op.t) list) : env =
   let ckpt =
     match checkpoint with Some c -> c | None -> Checkpoint.make config
   in
-  List.iter
-    (fun (name, plan) ->
-      let ds =
-        Trace.with_span trace ~op:"Assignment" ~stage:name (fun () ->
-            run_plan ~options ?trace ?faults ~checkpoint:ckpt ~config ~stats
-              env plan)
-      in
-      Hashtbl.replace env name ds)
-    plans;
-  env
+  with_run_pool ?pool ~config (fun pool ->
+      List.iter
+        (fun (name, plan) ->
+          let ds =
+            Trace.with_span trace ~op:"Assignment" ~stage:name (fun () ->
+                run_plan ~options ?trace ?faults ~checkpoint:ckpt ~pool
+                  ~config ~stats env plan)
+          in
+          Hashtbl.replace env name ds)
+        plans;
+      env)

@@ -34,6 +34,10 @@ type env = (string, Dataset.t) Hashtbl.t
 val env_of_list : (string * Dataset.t) list -> env
 
 val hash_key : Nrc.Value.t list -> int
+(** Hash over an evaluated key tuple; decides partition assignment as
+    [hash_key kv mod partitions]. Always non-negative (masked with
+    [land max_int] — [abs] would map a [min_int] fold to itself, and a
+    negative [mod] would index out of bounds). *)
 
 module KeyTbl : Hashtbl.S with type key = Nrc.Value.t list
 (** Hash tables over evaluated key tuples (heavy-key sets). *)
@@ -59,12 +63,17 @@ val run_plan :
   ?trace:Trace.ctx ->
   ?faults:Faults.t ->
   ?checkpoint:Checkpoint.t ->
+  ?pool:Pool.t ->
   config:Config.t ->
   stats:Stats.t ->
   env ->
   Plan.Op.t ->
   Dataset.t
-(** Execute one plan against named datasets. With [?trace], the plan run
+(** Execute one plan against named datasets. Partition tasks run on the
+    given {!Pool} (or a fresh one sized by {!Config.t.domains}, shut down
+    on exit); any domain count produces bit-identical results, stats,
+    traces, fault victims, spill decisions and checkpoint bytes — only
+    wall-clock time changes. With [?trace], the plan run
     appears as one root span per top-level operator in the context. With
     [?faults], the injector is consulted at every compute and shuffle stage
     and injected events are recovered with Spark's semantics (bounded
@@ -88,6 +97,7 @@ val run_assignments :
   ?trace:Trace.ctx ->
   ?faults:Faults.t ->
   ?checkpoint:Checkpoint.t ->
+  ?pool:Pool.t ->
   config:Config.t ->
   stats:Stats.t ->
   env ->
@@ -95,6 +105,7 @@ val run_assignments :
   env
 (** Execute (name, plan) assignments in order, extending the environment.
     With [?trace], each assignment is wrapped in an ["Assignment"] span
-    whose stage is the assignment name. [?faults] as in {!run_plan}. One
-    checkpoint manager spans all assignments, so lineage — and with it
+    whose stage is the assignment name. [?faults] and [?pool] as in
+    {!run_plan}; one pool and one checkpoint manager span all
+    assignments, so domains are spawned once and lineage — and with it
     recovery cost — is run-wide. *)

@@ -20,6 +20,7 @@ type t = {
   mutable checkpoint_bytes : int;
   mutable lineage_truncated : int;
   mutable recovery_seconds : float;
+  mutable wall_seconds : float;
 }
 
 type snapshot = {
@@ -40,6 +41,7 @@ type snapshot = {
   checkpoint_bytes : int;
   lineage_truncated : int;
   recovery_seconds : float;
+  wall_seconds : float;
 }
 
 exception
@@ -75,6 +77,7 @@ let create () : t =
     checkpoint_bytes = 0;
     lineage_truncated = 0;
     recovery_seconds = 0.;
+    wall_seconds = 0.;
   }
 
 let shuffled_bytes (s : t) = s.shuffled_bytes
@@ -94,6 +97,7 @@ let checkpoints_written (s : t) = s.checkpoints_written
 let checkpoint_bytes (s : t) = s.checkpoint_bytes
 let lineage_truncated (s : t) = s.lineage_truncated
 let recovery_seconds (s : t) = s.recovery_seconds
+let wall_seconds (s : t) = s.wall_seconds
 let add_shuffled (s : t) n = s.shuffled_bytes <- s.shuffled_bytes + n
 let add_broadcast (s : t) n = s.broadcast_bytes <- s.broadcast_bytes + n
 let add_rows (s : t) n = s.rows_processed <- s.rows_processed + n
@@ -123,6 +127,8 @@ let add_lineage_truncated (s : t) n =
 let add_recovery_seconds (s : t) dt =
   s.recovery_seconds <- s.recovery_seconds +. dt
 
+let add_wall_seconds (s : t) dt = s.wall_seconds <- s.wall_seconds +. dt
+
 let observe_worker (s : t) bytes =
   s.peak_worker_bytes <- max s.peak_worker_bytes bytes
 
@@ -145,6 +151,7 @@ let snapshot (s : t) : snapshot =
     checkpoint_bytes = s.checkpoint_bytes;
     lineage_truncated = s.lineage_truncated;
     recovery_seconds = s.recovery_seconds;
+    wall_seconds = s.wall_seconds;
   }
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
@@ -166,6 +173,7 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     checkpoint_bytes = a.checkpoint_bytes - b.checkpoint_bytes;
     lineage_truncated = a.lineage_truncated - b.lineage_truncated;
     recovery_seconds = a.recovery_seconds -. b.recovery_seconds;
+    wall_seconds = a.wall_seconds -. b.wall_seconds;
   }
 
 let merge (a : snapshot) (b : snapshot) : snapshot =
@@ -187,6 +195,7 @@ let merge (a : snapshot) (b : snapshot) : snapshot =
     checkpoint_bytes = a.checkpoint_bytes + b.checkpoint_bytes;
     lineage_truncated = a.lineage_truncated + b.lineage_truncated;
     recovery_seconds = a.recovery_seconds +. b.recovery_seconds;
+    wall_seconds = a.wall_seconds +. b.wall_seconds;
   }
 
 let zero : snapshot =
@@ -208,7 +217,13 @@ let zero : snapshot =
     checkpoint_bytes = 0;
     lineage_truncated = 0;
     recovery_seconds = 0.;
+    wall_seconds = 0.;
   }
+
+(* Equivalence campaigns compare parallel against sequential snapshots:
+   everything must match bit-for-bit except the one quantity that is
+   *supposed* to change with the domain count. *)
+let strip_wall (s : snapshot) : snapshot = { s with wall_seconds = 0. }
 
 let pp_snapshot ppf (s : snapshot) =
   Fmt.pf ppf
@@ -232,6 +247,7 @@ let pp_snapshot ppf (s : snapshot) =
       s.checkpoints_written
       (float_of_int s.checkpoint_bytes /. 1024.)
       (float_of_int s.lineage_truncated /. 1024.)
-      s.recovery_seconds
+      s.recovery_seconds;
+  if s.wall_seconds > 0. then Fmt.pf ppf " wall=%.3fs" s.wall_seconds
 
 let pp ppf (s : t) = pp_snapshot ppf (snapshot s)

@@ -32,6 +32,11 @@ type snapshot = {
   recovery_seconds : float;
       (** simulated seconds spent paying for fault recovery: retries,
           speculation, lineage replay — a slice of [sim_seconds] *)
+  wall_seconds : float;
+      (** real elapsed seconds of the run, measured by the driver. Unlike
+          every other counter, this one is {e not} deterministic and it
+          {e does} change with {!Config.t.domains}; equivalence campaigns
+          compare snapshots through {!strip_wall} *)
 }
 
 exception
@@ -76,6 +81,7 @@ val checkpoints_written : t -> int
 val checkpoint_bytes : t -> int
 val lineage_truncated : t -> int
 val recovery_seconds : t -> float
+val wall_seconds : t -> float
 
 (** {2 Recording (executor side)} *)
 
@@ -96,6 +102,11 @@ val add_checkpoint_bytes : t -> int -> unit
 val add_lineage_truncated : t -> int -> unit
 val add_recovery_seconds : t -> float -> unit
 
+val add_wall_seconds : t -> float -> unit
+(** Charged once per run by the driver ({!Trance.Api.run}) from a real
+    clock — never by the executor, whose accounting must stay a pure
+    function of the plan and the configuration. *)
+
 val observe_worker : t -> int -> unit
 (** Raise the peak per-worker residency high-water mark. *)
 
@@ -113,6 +124,10 @@ val merge : snapshot -> snapshot -> snapshot
     [Stats.add] for aggregating slices back into totals. *)
 
 val zero : snapshot
+
+val strip_wall : snapshot -> snapshot
+(** The snapshot with [wall_seconds] zeroed: the deterministic part, which
+    must be bit-identical across {!Config.t.domains} settings. *)
 
 val pp : Format.formatter -> t -> unit
 val pp_snapshot : Format.formatter -> snapshot -> unit

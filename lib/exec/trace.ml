@@ -34,6 +34,7 @@ type metrics = {
   checkpoint_bytes : int;
   lineage_truncated : int;
   recovery_seconds : float;
+  wall_seconds : float;
 }
 
 let zero_metrics =
@@ -59,6 +60,7 @@ let zero_metrics =
     checkpoint_bytes = 0;
     lineage_truncated = 0;
     recovery_seconds = 0.;
+    wall_seconds = 0.;
   }
 
 let merge_metrics a b =
@@ -84,6 +86,7 @@ let merge_metrics a b =
     checkpoint_bytes = a.checkpoint_bytes + b.checkpoint_bytes;
     lineage_truncated = a.lineage_truncated + b.lineage_truncated;
     recovery_seconds = a.recovery_seconds +. b.recovery_seconds;
+    wall_seconds = a.wall_seconds +. b.wall_seconds;
   }
 
 let mean_partition_bytes m =
@@ -193,7 +196,7 @@ let add octx ?(shuffled = 0) ?(broadcast = 0) ?(rows_in = 0) ?(rows_out = 0)
     ?(stages = 0) ?(sim_seconds = 0.) ?(retries = 0) ?(retried = 0)
     ?(speculative = 0) ?(recomputed = 0) ?(spilled = 0) ?(spill_partitions = 0)
     ?(spill_rounds = 0) ?(checkpoints = 0) ?(checkpoint_bytes = 0)
-    ?(lineage_truncated = 0) ?(recovery_seconds = 0.) () =
+    ?(lineage_truncated = 0) ?(recovery_seconds = 0.) ?(wall_seconds = 0.) () =
   on_top octx (fun n ->
       n.nm <-
         {
@@ -215,6 +218,7 @@ let add octx ?(shuffled = 0) ?(broadcast = 0) ?(rows_in = 0) ?(rows_out = 0)
           checkpoint_bytes = n.nm.checkpoint_bytes + checkpoint_bytes;
           lineage_truncated = n.nm.lineage_truncated + lineage_truncated;
           recovery_seconds = n.nm.recovery_seconds +. recovery_seconds;
+          wall_seconds = n.nm.wall_seconds +. wall_seconds;
         })
 
 let observe_partitions octx (bytes : int array) =
@@ -236,6 +240,15 @@ let observe_worker octx bytes =
 
 let group ~op ~stage children =
   { id = -1; op; stage; strategy = None; metrics = zero_metrics; children }
+
+(* Wall-clock is the one non-deterministic quantity a span carries:
+   equivalence campaigns strip it before comparing trees structurally. *)
+let rec without_wall sp =
+  {
+    sp with
+    metrics = { sp.metrics with wall_seconds = 0. };
+    children = List.map without_wall sp.children;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering *)
@@ -259,7 +272,8 @@ let pp_metrics ppf m =
   if m.checkpoints_written > 0 || m.recovery_seconds > 0. then
     Fmt.pf ppf " ckpts=%d ckpt=%a trunc=%a recovery=%.4fs"
       m.checkpoints_written pp_bytes m.checkpoint_bytes pp_bytes
-      m.lineage_truncated m.recovery_seconds
+      m.lineage_truncated m.recovery_seconds;
+  if m.wall_seconds > 0. then Fmt.pf ppf " wall=%.4fs" m.wall_seconds
 
 let pp_tree ppf sp =
   let rec go indent sp =
@@ -297,7 +311,7 @@ let json_float f =
 let buffer_metrics b m =
   Buffer.add_string b
     (Printf.sprintf
-       "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"rows_in\":%d,\"rows_out\":%d,\"stages\":%d,\"max_partition_bytes\":%d,\"mean_partition_bytes\":%s,\"peak_worker_bytes\":%d,\"load_imbalance\":%s,\"sim_seconds\":%s,\"task_retries\":%d,\"retried_tasks\":%d,\"speculative_tasks\":%d,\"recomputed_bytes\":%d,\"spilled_bytes\":%d,\"spill_partitions\":%d,\"spill_rounds\":%d,\"checkpoints_written\":%d,\"checkpoint_bytes\":%d,\"lineage_truncated\":%d,\"recovery_seconds\":%s}"
+       "{\"shuffled_bytes\":%d,\"broadcast_bytes\":%d,\"rows_in\":%d,\"rows_out\":%d,\"stages\":%d,\"max_partition_bytes\":%d,\"mean_partition_bytes\":%s,\"peak_worker_bytes\":%d,\"load_imbalance\":%s,\"sim_seconds\":%s,\"task_retries\":%d,\"retried_tasks\":%d,\"speculative_tasks\":%d,\"recomputed_bytes\":%d,\"spilled_bytes\":%d,\"spill_partitions\":%d,\"spill_rounds\":%d,\"checkpoints_written\":%d,\"checkpoint_bytes\":%d,\"lineage_truncated\":%d,\"recovery_seconds\":%s,\"wall_seconds\":%s}"
        m.shuffled_bytes m.broadcast_bytes m.rows_in m.rows_out m.stages
        m.max_partition_bytes
        (json_float (mean_partition_bytes m))
@@ -307,7 +321,8 @@ let buffer_metrics b m =
        m.task_retries m.retried_tasks m.speculative_tasks m.recomputed_bytes
        m.spilled_bytes m.spill_partitions m.spill_rounds
        m.checkpoints_written m.checkpoint_bytes m.lineage_truncated
-       (json_float m.recovery_seconds))
+       (json_float m.recovery_seconds)
+       (json_float m.wall_seconds))
 
 let rec buffer_json b sp =
   Buffer.add_string b (Printf.sprintf "{\"id\":%d,\"op\":\"" sp.id);

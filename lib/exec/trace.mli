@@ -55,6 +55,9 @@ type metrics = {
   checkpoint_bytes : int;  (** bytes materialized (one replica's worth) *)
   lineage_truncated : int;  (** lineage bytes checkpoints made unreplayable *)
   recovery_seconds : float;  (** simulated seconds spent paying for recovery *)
+  wall_seconds : float;
+      (** real elapsed seconds, charged by the driver to assignment spans;
+          the one non-deterministic quantity — see {!without_wall} *)
 }
 
 val zero_metrics : metrics
@@ -131,6 +134,7 @@ val add :
   ?checkpoint_bytes:int ->
   ?lineage_truncated:int ->
   ?recovery_seconds:float ->
+  ?wall_seconds:float ->
   unit ->
   unit
 (** Charge counters to the innermost open span. *)
@@ -144,6 +148,11 @@ val observe_worker : ctx option -> int -> unit
 val group : op:string -> stage:string -> span list -> span
 (** Synthetic parent span (zero own metrics) over existing spans — used by
     {!Trance.Api} to group one step's assignment spans. *)
+
+val without_wall : span -> span
+(** The span tree with every [wall_seconds] zeroed: the deterministic
+    part, which must be bit-identical across {!Config.t.domains}
+    settings (wall-clock is real time and varies run to run). *)
 
 (** {2 Rendering} *)
 

@@ -113,6 +113,72 @@ let prop_colocation =
       && V.approx_bag_equal (D.to_bag d) v)
 
 (* ------------------------------------------------------------------ *)
+(* Adversarial hashing. [abs] maps a [min_int] hash fold to itself, so the
+   old normalisation could hand a negative index to [mod] and read out of
+   bounds; the [land max_int] mask cannot. These generators aim the fold at
+   the extremes (min_int/max_int key components, collisions, empty and
+   multi-component keys) and pin the contract down. *)
+
+let gen_adversarial_value : V.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun i -> V.Int i)
+        (oneofl [ min_int; min_int + 1; max_int; -1; 0; 1; 31; -31 ]);
+      map (fun i -> V.Int i) int;
+      map (fun s -> V.Str s) (string_size ~gen:printable (int_bound 6));
+      return (V.Bool true);
+      return (V.Real 0.5);
+    ]
+
+let arbitrary_key_case =
+  QCheck.make
+    ~print:(fun (kv, n) ->
+      Fmt.str "n=%d [%a]" n (Fmt.list ~sep:Fmt.semi V.pp) kv)
+    QCheck.Gen.(
+      pair (list_size (int_range 0 4) gen_adversarial_value) (int_range 1 9))
+
+let prop_hash_key_in_range =
+  QCheck.Test.make
+    ~name:"hash_key: non-negative; partition index always in [0, n)"
+    ~count:(count 500) arbitrary_key_case (fun (kv, n) ->
+      let h = Exec.Executor.hash_key kv in
+      h >= 0 && 0 <= h mod n && h mod n < n)
+
+let arbitrary_extreme_bag =
+  QCheck.make
+    ~print:(fun (ks, n) -> Fmt.str "partitions=%d keys=%d" n (List.length ks))
+    QCheck.Gen.(
+      pair
+        (list_size (int_bound 40)
+           (oneofl [ min_int; min_int + 1; max_int; -1; 0; 1; 7 ]))
+        (int_range 1 9))
+
+(* the shuffle path itself: extreme and colliding keys must place without
+   raising, keep equal keys co-located, and lose no rows *)
+let prop_adversarial_shuffle =
+  QCheck.Test.make
+    ~name:"of_bag_by: min_int-hashing keys never raise, co-location holds"
+    ~count:(count 200) arbitrary_extreme_bag (fun (ks, partitions) ->
+      let v = V.Bag (List.mapi (fun i k -> row k i) ks) in
+      let d = D.of_bag_by ~partitions ~key:[ [ "k" ] ] v in
+      let home = Hashtbl.create 8 in
+      let ok = ref true in
+      Array.iteri
+        (fun p part ->
+          Array.iter
+            (fun item ->
+              let k = V.field item "k" in
+              match Hashtbl.find_opt home k with
+              | None -> Hashtbl.add home k p
+              | Some p' -> if p <> p' then ok := false)
+            part)
+        d.D.parts;
+      !ok
+      && D.total_rows d = List.length ks
+      && V.approx_bag_equal (D.to_bag d) v)
+
+(* ------------------------------------------------------------------ *)
 (* Multiset round-trip and accounting *)
 
 let prop_roundtrip =
@@ -181,7 +247,9 @@ let () =
           Alcotest.test_case "equal keys co-located, guarantee recorded"
             `Quick test_hash_colocation;
         ]
-        @ List.map QCheck_alcotest.to_alcotest [ prop_colocation ] );
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_colocation; prop_hash_key_in_range; prop_adversarial_shuffle ]
+      );
       ( "round-trip and accounting",
         [
           Alcotest.test_case "bytes add up across partitions" `Quick

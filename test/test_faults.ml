@@ -31,6 +31,14 @@ let run_fault ?(config = api_config) ~spec strategy q =
     ~config:{ config with Trance.Api.faults = spec }
     ~strategy prog Fixtures.inputs_val
 
+(* wall-clock time is the one legitimately non-deterministic quantity a
+   run reports; strip it before any replay comparison *)
+let det_spans (r : Trance.Api.run) =
+  Trace.spans_json (List.map Trace.without_wall r.Trance.Api.trace)
+
+let det_stats (r : Trance.Api.run) =
+  Exec.Stats.strip_wall (Exec.Stats.snapshot r.Trance.Api.stats)
+
 (* ------------------------------------------------------------------ *)
 (* Spec parsing *)
 
@@ -231,11 +239,9 @@ let campaign_tests =
                   (* same seed => identical span tree and counters *)
                   let r2 = run_fault ~config ~spec:[ spec ] strategy q in
                   check (what ^ ": deterministic span tree") true
-                    (Trace.spans_json r.Trance.Api.trace
-                    = Trace.spans_json r2.Trance.Api.trace);
+                    (det_spans r = det_spans r2);
                   check (what ^ ": deterministic counters") true
-                    (Exec.Stats.snapshot r.Trance.Api.stats
-                    = Exec.Stats.snapshot r2.Trance.Api.stats)))
+                    (det_stats r = det_stats r2)))
             fault_specs)
         strategies)
     Fixtures.corpus
@@ -286,10 +292,7 @@ let ladder_tests =
                   check_recovery_totals rung r;
                   let r2 = run_fault ~config:(spill_on budget) ~spec:[] strategy q in
                   check (rung ^ ": deterministic replay") true
-                    (Trace.spans_json r.Trance.Api.trace
-                     = Trace.spans_json r2.Trance.Api.trace
-                    && Exec.Stats.snapshot r.Trance.Api.stats
-                       = Exec.Stats.snapshot r2.Trance.Api.stats))
+                    (det_spans r = det_spans r2 && det_stats r = det_stats r2))
                 [ peak; max 1 (peak / 4); max 1 (peak / 16) ]))
         strategies)
     Fixtures.corpus
@@ -466,11 +469,8 @@ let test_storm_fires_all () =
 let test_clean_deterministic () =
   let a = run_fault ~spec:[] Trance.Api.Standard Fixtures.example1 in
   let b = run_fault ~spec:[] Trance.Api.Standard Fixtures.example1 in
-  check "span trees identical" true
-    (Trace.spans_json a.Trance.Api.trace = Trace.spans_json b.Trance.Api.trace);
-  check "counters identical" true
-    (Exec.Stats.snapshot a.Trance.Api.stats
-    = Exec.Stats.snapshot b.Trance.Api.stats);
+  check "span trees identical" true (det_spans a = det_spans b);
+  check "counters identical" true (det_stats a = det_stats b);
   check "clean outcome is Completed" true
     (Trance.Api.outcome a = Trance.Api.Completed)
 
@@ -565,9 +565,8 @@ let prop_fault_deterministic =
     ~count:(count 100) arbitrary_fault_case (fun ((q, inputs), spec) ->
       let a = run_random ~spec q inputs in
       let b = run_random ~spec q inputs in
-      Trace.spans_json a.Trance.Api.trace = Trace.spans_json b.Trance.Api.trace
-      && Exec.Stats.snapshot a.Trance.Api.stats
-         = Exec.Stats.snapshot b.Trance.Api.stats
+      det_spans a = det_spans b
+      && det_stats a = det_stats b
       && a.Trance.Api.failure = b.Trance.Api.failure)
 
 (* ------------------------------------------------------------------ *)

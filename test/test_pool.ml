@@ -1,0 +1,226 @@
+(** The domain pool and its determinism contract.
+
+    Two layers. First, properties of {!Exec.Pool} itself: [map] agrees
+    with [Array.mapi] at every domain count, per-task deltas are folded
+    strictly in task-index order (checked with a non-commutative monoid),
+    an associative merge reproduces the sequential left fold, and the
+    lowest-index exception is the one that propagates — with the pool
+    still usable afterwards. Second, the differential campaign behind the
+    [--domains] knob: for every corpus query, strategy and scenario
+    (clean, fault storm, tight-memory spilling, checkpointed storm), a
+    4-domain run must be bit-identical to the sequential run — same
+    value, same failure, same counters, same span tree — once the only
+    legitimately non-deterministic quantity, wall-clock time, is stripped
+    ({!Exec.Stats.strip_wall}, {!Exec.Trace.without_wall}). *)
+
+module V = Nrc.Value
+module F = Exec.Faults
+module Pool = Exec.Pool
+module Trace = Exec.Trace
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let count default =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+(* ------------------------------------------------------------------ *)
+(* Pool properties *)
+
+let arbitrary_pool_case =
+  QCheck.make
+    ~print:(fun (l, d) -> Printf.sprintf "domains=%d n=%d" d (List.length l))
+    QCheck.Gen.(pair (list_size (int_bound 50) small_int) (int_range 1 6))
+
+let prop_map_matches_sequential =
+  QCheck.Test.make ~name:"map: agrees with Array.mapi at any domain count"
+    ~count:(count 200) arbitrary_pool_case (fun (l, domains) ->
+      let arr = Array.of_list l in
+      let f i x = (i * 1031) lxor (x * 7) in
+      Pool.with_pool ~domains (fun pool -> Pool.map pool f arr)
+      = Array.mapi f arr)
+
+(* the delta monoid need not be commutative: list append keeps the
+   task-index order visible, so the folded delta spells out 0..n-1 *)
+let prop_delta_fold_order =
+  QCheck.Test.make
+    ~name:"map_parts: deltas fold in task-index order (non-commutative)"
+    ~count:(count 200) arbitrary_pool_case (fun (l, domains) ->
+      let arr = Array.of_list l in
+      let out, order =
+        Pool.with_pool ~domains (fun pool ->
+            Pool.map_parts pool ~zero:[] ~merge:( @ )
+              (fun i x -> (x + 1, [ i ]))
+              arr)
+      in
+      out = Array.map (fun x -> x + 1) arr
+      && order = List.init (Array.length arr) Fun.id)
+
+(* with an associative (but still non-commutative) merge, any grouping
+   the pool picks reproduces the sequential left fold exactly *)
+let prop_delta_merge_associative =
+  QCheck.Test.make
+    ~name:"map_parts: associative merge reproduces the sequential fold"
+    ~count:(count 200) arbitrary_pool_case (fun (l, domains) ->
+      let arr = Array.of_list l in
+      let _, d =
+        Pool.with_pool ~domains (fun pool ->
+            Pool.map_parts pool ~zero:"" ~merge:( ^ )
+              (fun i x -> ((), Printf.sprintf "<%d:%d>" i x))
+              arr)
+      in
+      d
+      = String.concat ""
+          (List.mapi (fun i x -> Printf.sprintf "<%d:%d>" i x) l))
+
+(* sequential semantics: the first (lowest-index) raising task is the one
+   the caller observes, whatever order the domains actually ran in — and
+   the pool survives to run the next job *)
+let test_exception_lowest_index () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let arr = Array.init 20 Fun.id in
+      (match
+         Pool.map pool
+           (fun i x -> if i mod 3 = 1 then failwith (string_of_int i) else x)
+           arr
+       with
+      | _ -> Alcotest.fail "expected the task exception to propagate"
+      | exception Failure m -> check_int "lowest raising index" 1 (int_of_string m));
+      check "pool reusable after an exception" true
+        (Pool.map pool (fun i x -> i + x) arr = Array.mapi (fun i x -> i + x) arr))
+
+let test_create_shutdown () =
+  let p = Pool.create ~domains:3 in
+  check_int "size" 3 (Pool.size p);
+  check "runs a job" true
+    (Pool.map p (fun i x -> i * x) (Array.init 10 Fun.id)
+    = Array.init 10 (fun i -> i * i));
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *)
+
+let test_empty_and_singleton () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let out, d =
+        Pool.map_parts pool ~zero:"z" ~merge:( ^ )
+          (fun i x -> (x, string_of_int i))
+          [||]
+      in
+      check "empty input, empty output" true (out = [||]);
+      check "empty input keeps zero" true (d = "z");
+      check "singleton" true (Pool.map pool (fun i x -> i + x) [| 9 |] = [| 9 |]))
+
+(* ------------------------------------------------------------------ *)
+(* The differential campaign: corpus x strategy x scenario, domains 1 = 4 *)
+
+let cluster = { Exec.Config.unbounded with partitions = 7; workers = 3 }
+let api_config = { Trance.Api.default_config with cluster; trace = true }
+
+let with_domains (config : Trance.Api.config) domains =
+  { config with
+    Trance.Api.cluster =
+      { config.Trance.Api.cluster with Exec.Config.domains } }
+
+let run_q ~config strategy q =
+  let prog = Nrc.Program.of_expr ~inputs:Fixtures.inputs_ty ~name:"Q" q in
+  Trance.Api.run ~config ~strategy prog Fixtures.inputs_val
+
+let strategies =
+  [
+    ("Standard", Trance.Api.Standard, api_config);
+    ("Shred+Unshred", Trance.Api.Shredded { unshred = true }, api_config);
+    ( "Standard+skew",
+      Trance.Api.Standard,
+      { api_config with
+        Trance.Api.skew_aware = true;
+        cluster = { cluster with broadcast_limit = 64 } } );
+  ]
+
+let storm =
+  [
+    { (F.default_spec F.Worker_crash) with F.stage = 1 };
+    { (F.default_spec F.Task_failure) with F.stage = 2; fails = 2 };
+    { (F.default_spec F.Fetch_failure) with F.stage = 3; fails = 2 };
+  ]
+
+(* each scenario maps the strategy's base config to the config under
+   test; the memory ladder calibrates against the clean sequential peak *)
+let scenarios =
+  [
+    ("clean", fun config _strategy _q -> config);
+    ( "fault storm",
+      fun config _strategy _q -> { config with Trance.Api.faults = storm } );
+    ( "memory ladder",
+      fun config strategy q ->
+        let clean = run_q ~config:(with_domains config 1) strategy q in
+        let peak = Exec.Stats.peak_worker_bytes clean.Trance.Api.stats in
+        { config with
+          Trance.Api.route_fallback = false;
+          cluster =
+            { config.Trance.Api.cluster with
+              worker_mem = max 1 (peak / 4);
+              spill = Exec.Config.On } } );
+    ( "checkpoint storm",
+      fun config _strategy _q ->
+        { config with
+          Trance.Api.faults = F.storm ~first_stage:1 ~span:4 3;
+          cluster =
+            { config.Trance.Api.cluster with
+              Exec.Config.checkpoint = Exec.Config.Every 2 } } );
+  ]
+
+let stripped_spans (r : Trance.Api.run) =
+  Trace.spans_json (List.map Trace.without_wall r.Trance.Api.trace)
+
+let assert_bit_identical what (r1 : Trance.Api.run) (rn : Trance.Api.run) =
+  check (what ^ ": same value") true (r1.Trance.Api.value = rn.Trance.Api.value);
+  check (what ^ ": same failure") true
+    (r1.Trance.Api.failure = rn.Trance.Api.failure);
+  check (what ^ ": same counters once wall is stripped") true
+    (Exec.Stats.strip_wall (Exec.Stats.snapshot r1.Trance.Api.stats)
+    = Exec.Stats.strip_wall (Exec.Stats.snapshot rn.Trance.Api.stats));
+  check (what ^ ": same span tree once wall is stripped") true
+    (stripped_spans r1 = stripped_spans rn);
+  check (what ^ ": same per-step sim seconds") true
+    (Trance.Api.step_seconds r1 = Trance.Api.step_seconds rn)
+
+let campaign_tests =
+  List.concat_map
+    (fun (name, q) ->
+      List.concat_map
+        (fun (sname, strategy, config) ->
+          List.map
+            (fun (scname, tweak) ->
+              let what = Printf.sprintf "%s [%s] %s" name sname scname in
+              Alcotest.test_case what `Quick (fun () ->
+                  let config = tweak config strategy q in
+                  let r1 = run_q ~config:(with_domains config 1) strategy q in
+                  let r4 = run_q ~config:(with_domains config 4) strategy q in
+                  assert_bit_identical what r1 r4))
+            scenarios)
+        strategies)
+    Fixtures.corpus
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool properties",
+        [
+          Alcotest.test_case "lowest-index exception propagates" `Quick
+            test_exception_lowest_index;
+          Alcotest.test_case "create / run / shutdown (idempotent)" `Quick
+            test_create_shutdown;
+          Alcotest.test_case "empty and singleton inputs" `Quick
+            test_empty_and_singleton;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              prop_map_matches_sequential;
+              prop_delta_fold_order;
+              prop_delta_merge_associative;
+            ] );
+      ("sequential = parallel campaign", campaign_tests);
+    ]

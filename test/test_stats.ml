@@ -36,6 +36,7 @@ let gen_snapshot : S.snapshot QCheck.Gen.t =
   let* checkpoint_bytes = small in
   let* lineage_truncated = small in
   let* recovery_seconds = map float_of_int (int_bound 100) in
+  let* wall_seconds = map float_of_int (int_bound 100) in
   return
     {
       S.shuffled_bytes;
@@ -55,6 +56,7 @@ let gen_snapshot : S.snapshot QCheck.Gen.t =
       checkpoint_bytes;
       lineage_truncated;
       recovery_seconds;
+      wall_seconds;
     }
 
 let arbitrary_snapshot =
